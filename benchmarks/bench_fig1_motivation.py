@@ -1,0 +1,50 @@
+"""Fig. 1 — motivation: NN codecs are impractical on the edge.
+
+Regenerates the paper's opening measurement: on a Jetson TX2, transmitting a
+compressed 512×768 image takes ≈150 ms while *loading* an NN codec takes
+0.3–11.6 s and *encoding* takes 0.4–18 s.  The benchmark prints the same
+three bars (transmit / load / encode latency) for the Ballé-factorized,
+Ballé-hyperprior, MBT (Minnen) and Cheng-anchor cost profiles on the
+simulated TX2.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codecs import ChengCodec, MbtCodec
+from repro.experiments import format_table
+
+
+def _fig1_rows(testbed, balle_profiles, shape):
+    codecs = balle_profiles + [MbtCodec(4), ChengCodec(4)]
+    payload_bytes = int(0.4 * shape[0] * shape[1] / 8)  # ≈0.4 bpp compressed file
+    rows = []
+    for codec in codecs:
+        report = testbed.run(codec, shape=shape, payload_bytes=payload_bytes, include_load=True)
+        rows.append([
+            codec.name,
+            round(report.timing.transmit_ms, 1),
+            round(report.timing.load_ms, 1),
+            round(report.timing.encode_ms, 1),
+        ])
+    return rows
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_edge_latency_motivation(benchmark, testbed, balle_profiles, paper_image_shape):
+    rows = benchmark.pedantic(
+        _fig1_rows, args=(testbed, balle_profiles, paper_image_shape), rounds=1, iterations=1
+    )
+    print()
+    print(format_table(
+        ["codec", "transmit_ms", "load_ms", "edge_encode_ms"], rows,
+        title="Fig. 1 — transmission vs load vs edge-encode latency (Jetson TX2, 512x768)",
+    ))
+    # shape assertions: the gap the paper motivates with
+    for name, transmit, load, encode in rows:
+        assert 100 <= transmit <= 250, "transmission should sit near the paper's ~150 ms"
+    mbt = next(row for row in rows if row[0].startswith("mbt"))
+    cheng = next(row for row in rows if row[0].startswith("cheng"))
+    assert mbt[3] > 10_000 and cheng[3] > 10_000, "NN encode latency must dwarf transmission"
+    assert cheng[2] > mbt[2] > rows[0][2], "load latency ordering Balle < MBT < Cheng"

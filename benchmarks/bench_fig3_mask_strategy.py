@@ -1,0 +1,89 @@
+"""Fig. 3 — proposed row-conditional mask vs unconstrained random mask.
+
+Regenerates both panels over the erase ratios reachable with the benchmark
+grid (25% and 50%; the paper sweeps 10–30% on a finer sub-patch grid):
+(a) file-saving ratio after JPEG of the squeezed image and (b) reconstruction
+MSE, for the proposed and the random mask strategy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codecs import JpegCodec
+from repro.core import (
+    erase_and_squeeze_image,
+    proposed_mask,
+    random_mask,
+    reconstruct_image,
+    unsqueeze_image,
+)
+from repro.experiments import Series, format_series_table
+from repro.metrics import file_saving_ratio, mse
+
+_ERASE_PER_ROW = (1, 2)  # grid of 4 sub-patches per row → 25% and 50%
+
+
+def _mask_for(strategy, grid, erase_per_row, seed):
+    if strategy == "proposed":
+        return proposed_mask(grid, erase_per_row, seed=seed)
+    return random_mask(grid, erase_per_row, seed=seed)
+
+
+def _fig3_measurements(images, config, model, num_seeds=3):
+    codec = JpegCodec(quality=75)
+    results = {}
+    for strategy in ("proposed", "random"):
+        saving_curve = []
+        mse_curve = []
+        for erase_per_row in _ERASE_PER_ROW:
+            savings = []
+            errors = []
+            for image in images:
+                baseline = codec.compress(image).num_bytes
+                for seed in range(num_seeds):
+                    mask = _mask_for(strategy, config.grid_size, erase_per_row, seed)
+                    squeezed, grid, _ = erase_and_squeeze_image(
+                        image, mask, config.patch_size, config.subpatch_size)
+                    savings.append(file_saving_ratio(
+                        baseline, codec.compress(squeezed).num_bytes))
+                    filled = unsqueeze_image(squeezed, mask, config.patch_size,
+                                             config.subpatch_size, grid, image.shape,
+                                             fill="zero")
+                    reconstruction = reconstruct_image(model, filled, mask)
+                    errors.append(mse(image, reconstruction))
+            saving_curve.append(float(np.mean(savings)))
+            mse_curve.append(float(np.mean(errors)))
+        results[strategy] = {"saving": saving_curve, "mse": mse_curve}
+    return results
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_proposed_vs_random_mask(benchmark, kodak, bench_config, easz_model):
+    images = [kodak[i][..., 0] for i in range(2)]  # luma plane keeps runtime low
+
+    results = benchmark.pedantic(_fig3_measurements, args=(images, bench_config, easz_model),
+                                 rounds=1, iterations=1)
+
+    ratios = [100.0 * t / bench_config.grid_size for t in _ERASE_PER_ROW]
+    print()
+    print(format_series_table(
+        [Series("Easz (proposed mask)", ratios, results["proposed"]["saving"]),
+         Series("Random mask", ratios, results["random"]["saving"])],
+        x_label="erase %", y_label="file saving ratio",
+        title="Fig. 3a — impact on JPEG file size (higher is better)"))
+    print()
+    print(format_series_table(
+        [Series("Easz (proposed mask)", ratios, results["proposed"]["mse"]),
+         Series("Random mask", ratios, results["random"]["mse"])],
+        x_label="erase %", y_label="reconstruction MSE",
+        title="Fig. 3b — impact on reconstruction (lower is better)"))
+
+    # shape assertions: more erasing saves more bits but hurts reconstruction
+    assert results["proposed"]["saving"][-1] > results["proposed"]["saving"][0]
+    assert results["proposed"]["mse"][-1] > results["proposed"]["mse"][0]
+    # the proposed mask must not reconstruct worse than the unconstrained mask
+    assert np.mean(results["proposed"]["mse"]) <= np.mean(results["random"]["mse"]) * 1.1
+    # and the file savings must be real at every ratio for both strategies
+    assert min(results["proposed"]["saving"]) > 0.0

@@ -1,0 +1,76 @@
+"""Fig. 6 — efficiency evaluation on the (simulated) Jetson TX2.
+
+Regenerates the three panels:
+
+* 6a — end-to-end latency breakdown (erase-and-squeeze / compression /
+  transmit / decompression / reconstruction) for Easz, MBT and Cheng;
+* 6b — encode-side power (CPU vs GPU);
+* 6c — encode-side memory footprint.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codecs import ChengCodec, MbtCodec
+from repro.experiments import format_table
+
+
+def _fig6_reports(testbed, easz_codec_factory, shape):
+    easz = easz_codec_factory(quality=75)
+    codecs = [easz, MbtCodec(4), ChengCodec(4)]
+    payload_bytes = int(0.4 * shape[0] * shape[1] / 8)
+    return [testbed.run(codec, shape=shape, payload_bytes=payload_bytes, include_load=False)
+            for codec in codecs]
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_efficiency_on_jetson_tx2(benchmark, testbed, easz_codec_factory,
+                                       paper_image_shape):
+    reports = benchmark.pedantic(
+        _fig6_reports, args=(testbed, easz_codec_factory, paper_image_shape),
+        rounds=1, iterations=1,
+    )
+    easz, mbt, cheng = reports
+
+    latency_rows = [[r.codec_name] + [round(v, 1) for v in (
+        r.timing.erase_squeeze_ms, r.timing.encode_ms, r.timing.transmit_ms,
+        r.timing.decode_ms, r.timing.reconstruction_ms, r.timing.total_ms)] for r in reports]
+    power_rows = [[r.codec_name, round(r.edge_gpu_power_w, 2), round(r.edge_cpu_power_w, 2),
+                   round(r.edge_total_power_w, 2)] for r in reports]
+    memory_rows = [[r.codec_name, round(r.edge_memory_gb, 2)] for r in reports]
+
+    print()
+    print(format_table(
+        ["codec", "erase&squeeze", "compress", "transmit", "decomp", "recon", "total_ms"],
+        latency_rows, title="Fig. 6a — end-to-end latency breakdown (ms)"))
+    print()
+    print(format_table(["codec", "gpu_power_w", "cpu_power_w", "total_w"], power_rows,
+                       title="Fig. 6b — encode power consumption"))
+    print()
+    print(format_table(["codec", "memory_gb"], memory_rows,
+                       title="Fig. 6c — encode memory footprint"))
+    print()
+    print(f"erase-and-squeeze share of Easz end-to-end latency: "
+          f"{100 * easz.timing.erase_squeeze_ms / easz.timing.total_ms:.2f}% (paper: 0.7%)")
+    print(f"reconstruction share of Easz end-to-end latency: "
+          f"{100 * easz.timing.reconstruction_ms / easz.timing.total_ms:.1f}% (paper: 74%)")
+    print(f"total power reduction vs MBT: "
+          f"{100 * (1 - easz.edge_total_power_w / mbt.edge_total_power_w):.1f}% (paper: 71.3%)")
+    print(f"total power reduction vs Cheng: "
+          f"{100 * (1 - easz.edge_total_power_w / cheng.edge_total_power_w):.1f}% (paper: 59.9%)")
+    print(f"memory reduction vs MBT: "
+          f"{100 * (1 - easz.edge_memory_gb / mbt.edge_memory_gb):.1f}% (paper: 45.8%)")
+    print(f"memory reduction vs Cheng: "
+          f"{100 * (1 - easz.edge_memory_gb / cheng.edge_memory_gb):.1f}% (paper: 47.1%)")
+
+    # shape assertions
+    assert easz.timing.total_ms < 0.25 * mbt.timing.total_ms
+    assert easz.timing.erase_squeeze_ms / easz.timing.total_ms < 0.05
+    assert easz.timing.reconstruction_ms == max(
+        easz.timing.erase_squeeze_ms, easz.timing.encode_ms, easz.timing.decode_ms,
+        easz.timing.reconstruction_ms)
+    assert easz.edge_gpu_power_w < 0.2
+    assert easz.edge_total_power_w < mbt.edge_total_power_w
+    assert easz.edge_memory_gb < mbt.edge_memory_gb < 2.2
+    assert easz.edge_memory_gb < cheng.edge_memory_gb

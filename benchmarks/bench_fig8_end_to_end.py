@@ -1,0 +1,103 @@
+"""Fig. 8 — end-to-end compression performance.
+
+* 8a–8c — rate/perception curves (BRISQUE, PI, TReS vs BPP) for JPEG,
+  JPEG+Easz, MBT and Cheng-anchor on the Kodak-like set;
+* 8d — end-to-end latency vs BPP on the simulated TX2 → server testbed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codecs import ChengCodec, JpegCodec, MbtCodec
+from repro.experiments import (
+    Series,
+    evaluate_codec_on_dataset,
+    format_series_table,
+    format_table,
+)
+
+_JPEG_QUALITIES = (20, 45, 75, 90)
+_NEURAL_QUALITIES = (2, 4, 5, 6)
+
+
+def _fig8_sweeps(dataset, easz_codec_factory, max_images=1):
+    families = {
+        "jpeg": [JpegCodec(quality=q) for q in _JPEG_QUALITIES],
+        "jpeg+easz": [easz_codec_factory(quality=q) for q in _JPEG_QUALITIES],
+        "mbt": [MbtCodec(quality=q) for q in _NEURAL_QUALITIES],
+        "cheng": [ChengCodec(quality=q) for q in _NEURAL_QUALITIES],
+    }
+    sweeps = {}
+    for label, codecs in families.items():
+        evaluations = [evaluate_codec_on_dataset(codec, dataset, max_images=max_images,
+                                                 no_reference=("brisque", "pi", "tres"),
+                                                 full_reference=())
+                       for codec in codecs]
+        sweeps[label] = sorted(evaluations, key=lambda e: e.bpp)
+    return sweeps
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8abc_rate_perception_curves(benchmark, kodak, easz_codec_factory):
+    sweeps = benchmark.pedantic(_fig8_sweeps, args=(kodak, easz_codec_factory),
+                                rounds=1, iterations=1)
+    print()
+    for metric, better in (("brisque", "lower"), ("pi", "lower"), ("tres", "higher")):
+        series = [Series(label, [round(e.bpp, 3) for e in evals],
+                         [round(e.scores[metric], 2) for e in evals])
+                  for label, evals in sweeps.items()]
+        print(format_series_table(series, x_label="bpp", y_label=metric,
+                                  title=f"Fig. 8 — {metric} vs BPP ({better} is better)"))
+        print()
+
+    jpeg = sweeps["jpeg"]
+    easz = sweeps["jpeg+easz"]
+    # +Easz shifts the JPEG curve left: at every shared quality setting the
+    # BPP is lower than plain JPEG
+    for plain, enhanced in zip(jpeg, easz):
+        assert enhanced.bpp < plain.bpp
+    # all four families produce monotone BPP sweeps with finite scores
+    for label, evals in sweeps.items():
+        bpps = [e.bpp for e in evals]
+        assert bpps == sorted(bpps)
+        assert all(np.isfinite(list(e.scores.values())).all() for e in evals), label
+
+
+def _fig8d_rows(testbed, easz_codec_factory, shape):
+    rows = []
+    for label, codec_factory, qualities in (
+        ("jpeg+easz", easz_codec_factory, _JPEG_QUALITIES),
+        ("mbt", lambda q: MbtCodec(quality=q), _NEURAL_QUALITIES),
+        ("cheng", lambda q: ChengCodec(quality=q), _NEURAL_QUALITIES),
+    ):
+        for quality in qualities:
+            codec = codec_factory(quality)
+            bpp = 0.15 + 0.12 * qualities.index(quality)  # representative payload sizes
+            payload_bytes = int(bpp * shape[0] * shape[1] / 8)
+            report = testbed.run(codec, shape=shape, payload_bytes=payload_bytes,
+                                 include_load=False)
+            rows.append([label, round(report.bpp, 3), round(report.timing.total_ms, 1)])
+    return rows
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8d_latency_vs_bitrate(benchmark, testbed, easz_codec_factory, paper_image_shape):
+    rows = benchmark.pedantic(_fig8d_rows, args=(testbed, easz_codec_factory, paper_image_shape),
+                              rounds=1, iterations=1)
+    print()
+    print(format_table(["codec", "bpp", "end_to_end_ms"], rows,
+                       title="Fig. 8d — end-to-end latency vs bitrate (simulated testbed)"))
+    easz_latency = np.mean([row[2] for row in rows if row[0] == "jpeg+easz"])
+    mbt_latency = np.mean([row[2] for row in rows if row[0] == "mbt"])
+    cheng_latency = np.mean([row[2] for row in rows if row[0] == "cheng"])
+    reduction_vs_mbt = 1 - easz_latency / mbt_latency
+    reduction_vs_cheng = 1 - easz_latency / cheng_latency
+    print()
+    print(f"average Easz end-to-end latency: {easz_latency:.0f} ms "
+          f"(paper: 2568 ms on the physical testbed)")
+    print(f"latency reduction vs MBT: {100 * reduction_vs_mbt:.1f}%, "
+          f"vs Cheng: {100 * reduction_vs_cheng:.1f}% (paper: ~89%)")
+    assert reduction_vs_mbt > 0.7
+    assert reduction_vs_cheng > 0.7

@@ -1,0 +1,104 @@
+"""Autonomous-driving scenario: latency deadlines and region-of-interest coding.
+
+The paper's introduction lists autonomous driving among the applications that
+push high-resolution imagery off the vehicle.  Two properties matter there
+that a plain fixed-ratio codec does not give you:
+
+1. **frame deadlines** — a perception frame is useless if it arrives late, so
+   the compression level must track the (changing) uplink budget;
+2. **regions of interest** — the road ahead matters more than the sky, so the
+   erase budget should be spent where content is expendable.
+
+This example runs both controllers from :mod:`repro.core`:
+
+* the :class:`BandwidthAdaptiveController` picks the erase ratio per frame so
+  the transfer meets a 250 ms deadline as the simulated link degrades;
+* the :class:`RoiEaszCodec` allocates per-patch erase levels from a saliency
+  map and is compared against the uniform-mask pipeline at a matched rate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codecs import JpegCodec
+from repro.core import (
+    BandwidthAdaptiveController,
+    EaszCodec,
+    EaszConfig,
+    RoiEaszCodec,
+    saliency_map,
+)
+from repro.datasets import SyntheticImageGenerator
+from repro.edge import WirelessChannel
+from repro.experiments import default_benchmark_config, format_table, pretrained_model
+from repro.metrics import psnr
+
+
+FRAME_DEADLINE_MS = 120.0
+
+
+def drive_scene(seed):
+    """A synthetic driving frame: textured lower half (road), smooth upper half (sky)."""
+    generator = SyntheticImageGenerator(96, 160, color=True, texture_strength=1.3)
+    frame = generator.generate(seed)
+    sky = np.linspace(0.75, 0.55, frame.shape[0] // 2)[:, None, None]
+    frame[: frame.shape[0] // 2] = 0.8 * sky + 0.2 * frame[: frame.shape[0] // 2]
+    return np.clip(frame, 0.0, 1.0)
+
+
+def deadline_adaptation(config):
+    """Per-frame erase-ratio selection as the uplink bandwidth drops."""
+    frames = [drive_scene(200 + index) for index in range(4)]
+    bandwidths_mbps = [6.0, 0.3, 0.15, 0.08]
+    rows = []
+    for frame, bandwidth in zip(frames, bandwidths_mbps):
+        channel = WirelessChannel(bandwidth_mbps=bandwidth, per_transfer_overhead_ms=40.0)
+        controller = BandwidthAdaptiveController(channel, config, JpegCodec(quality=80))
+        decision = controller.select(frame, deadline_ms=FRAME_DEADLINE_MS)
+        transmit_ms = channel.transmit_latency_ms(decision.num_bytes)
+        rows.append([bandwidth, decision.erase_per_row, f"{decision.erase_ratio:.0%}",
+                     round(decision.achieved_bpp, 3), round(transmit_ms, 1),
+                     "yes" if transmit_ms <= FRAME_DEADLINE_MS else "no"])
+    print(format_table(
+        ["uplink (Mbps)", "erase/row", "erase ratio", "bpp", "transmit (ms)",
+         f"meets {FRAME_DEADLINE_MS:.0f} ms"],
+        rows, title="Deadline-driven erase-ratio adaptation (no model switch needed)"))
+
+
+def roi_coding(config, model):
+    """Spend the erase budget on the sky, protect the road."""
+    frame = drive_scene(300)
+    saliency = saliency_map(frame, config.patch_size)
+    uniform = EaszCodec(config=config, base_codec=JpegCodec(quality=80), model=model, seed=0)
+    roi = RoiEaszCodec(config=config, base_codec=JpegCodec(quality=80), model=model,
+                       target_ratio=config.erase_ratio, seed=0)
+    rows = []
+    road = slice(frame.shape[0] // 2, None)
+    for label, codec in (("uniform erase", uniform), ("roi erase (sky first)", roi)):
+        reconstruction, compressed = codec.roundtrip(frame)
+        rows.append([label, round(compressed.bpp(), 3),
+                     round(psnr(frame, reconstruction), 2),
+                     round(psnr(frame[road], reconstruction[road]), 2)])
+    print()
+    print(format_table(["strategy", "bpp", "frame psnr (dB)", "road-half psnr (dB)"], rows,
+                       title="Region-of-interest coding on a driving frame"))
+    print(f"\nsaliency map ({saliency.shape[0]}x{saliency.shape[1]} patches): "
+          f"sky mean {saliency[:saliency.shape[0] // 2].mean():.2f}, "
+          f"road mean {saliency[saliency.shape[0] // 2:].mean():.2f}")
+
+
+def main():
+    config = default_benchmark_config()
+    model = pretrained_model(config, steps=600, batch_size=32)
+    print("Autonomous-driving example — deadline adaptation and ROI coding\n")
+    deadline_adaptation(EaszConfig(**{**config.__dict__}))
+    print()
+    roi_coding(config, model)
+    print("\nThe erase ratio is the only knob that changes between frames: the same "
+          "8-bit mask/seed side channel and the same server-side model serve every "
+          "operating point, which is what makes per-frame adaptation viable on a vehicle.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+"""Streaming surveillance scenario: frame sequences, lossy links and mask policy.
+
+A fixed surveillance camera streams a slowly changing scene over an unreliable
+uplink.  Three stream-level decisions are explored with the library's
+sequence, transport and fault-injection modules:
+
+1. **mask refresh policy** — refresh the erase mask every frame vs hold one
+   mask for the whole stream; the report shows the rate / flicker trade-off;
+2. **store-and-forward containers** — every frame is flattened into the
+   ``EASZ`` transport container (what the camera would buffer on flash when
+   the uplink drops) and decoded from the container bytes on the server;
+3. **damaged transfers** — the base-codec payload is corrupted and truncated
+   to show that the decoders reject damage cleanly instead of crashing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codecs import JpegCodec
+from repro.core import (
+    EaszStreamDecoder,
+    EaszStreamEncoder,
+    encode_decode_stream,
+    pack_package,
+    unpack_package,
+)
+from repro.datasets import SyntheticImageGenerator
+from repro.edge import FaultInjector, check_decoder_robustness
+from repro.experiments import default_benchmark_config, format_table, pretrained_model
+from repro.metrics import psnr
+
+
+def surveillance_frames(num_frames=6, height=96, width=144):
+    """A static scene with a small moving object (the interesting content)."""
+    generator = SyntheticImageGenerator(height, width, color=False, texture_strength=0.9)
+    background = generator.generate(500)
+    frames = []
+    for index in range(num_frames):
+        frame = background.copy()
+        x = 10 + 18 * index
+        frame[40:56, x:x + 16] = np.clip(frame[40:56, x:x + 16] + 0.35, 0.0, 1.0)
+        frames.append(frame)
+    return frames
+
+
+def mask_policy_comparison(frames, config, model):
+    rows = []
+    for label, interval in (("refresh every frame", 1), ("hold one mask", 0)):
+        _, report = encode_decode_stream(frames, config=config,
+                                         base_codec=JpegCodec(quality=80), model=model,
+                                         mask_refresh_interval=interval, seed=0)
+        rows.append([label, report.mask_refreshes, report.mask_bytes_total,
+                     round(report.mean_bpp, 3), round(report.mean_psnr_db, 2),
+                     round(report.flicker * 1e3, 3)])
+    print(format_table(
+        ["mask policy", "mask refreshes", "mask bytes", "mean bpp", "mean psnr (dB)",
+         "flicker (x1e-3)"],
+        rows, title=f"Mask refresh policy over {len(frames)} frames"))
+
+
+def store_and_forward(frames, config, model):
+    encoder = EaszStreamEncoder(config=config, base_codec=JpegCodec(quality=80), seed=0)
+    decoder = EaszStreamDecoder(model=model, config=config, base_codec=JpegCodec(quality=80))
+    containers = [pack_package(encoder.encode(frame)) for frame in frames]
+    decoded = [decoder.decode(unpack_package(blob)) for blob in containers]
+    total_bytes = sum(len(blob) for blob in containers)
+    mean_psnr = float(np.mean([psnr(a, b) for a, b in zip(frames, decoded)]))
+    print(f"\nStore-and-forward: {len(containers)} EASZ containers, "
+          f"{total_bytes} bytes total, mean PSNR after the container round-trip "
+          f"{mean_psnr:.2f} dB")
+
+
+def damaged_transfers(frames):
+    codec = JpegCodec(quality=80)
+    faults = [
+        ("clean", FaultInjector()),
+        ("64 bit flips", FaultInjector(bit_flips=64, seed=1)),
+        ("30% tail lost", FaultInjector(truncate_to=0.7, seed=2)),
+        ("20% packets zeroed", FaultInjector(packet_loss_rate=0.2, packet_bytes=256, seed=3)),
+    ]
+    rows = []
+    for label, injector in faults:
+        result = check_decoder_robustness(codec, frames[0], injector, metric=psnr,
+                                          description=label)
+        quality = f"{result.quality_db:.1f} dB" if result.outcome == "decoded" else "-"
+        rows.append([label, result.outcome, result.error_type or "-", quality])
+    print()
+    print(format_table(["fault", "decoder outcome", "error type", "quality"], rows,
+                       title="Damaged-transfer behaviour (JPEG payloads)"))
+
+
+def main():
+    config = default_benchmark_config()
+    model = pretrained_model(config, steps=600, batch_size=32)
+    frames = surveillance_frames()
+    print("Streaming surveillance example\n")
+    mask_policy_comparison(frames, config, model)
+    store_and_forward(frames, config, model)
+    damaged_transfers(frames)
+    print("\nHolding one mask amortises the side channel but concentrates erasure on the "
+          "same blocks every frame; refreshing the mask spreads the loss and the "
+          "reconstruction flicker stays within the content's own motion.")
+
+
+if __name__ == "__main__":
+    main()

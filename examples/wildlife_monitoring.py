@@ -1,0 +1,76 @@
+"""Wildlife-camera scenario: battery-constrained edge device, bursty uplink.
+
+The paper motivates Easz with IoT deployments such as wildlife observation
+systems: a camera trap must push many images over a thin wireless link with a
+tiny energy budget, and the acceptable compression level changes with the
+backlog (e.g. when many animals trigger the camera at once).
+
+This example simulates a day's worth of captures on a Jetson-TX2-class camera
+node and compares three strategies:
+
+* send JPEG as-is;
+* run a neural codec (MBT) on the edge;
+* run Easz (erase-and-squeeze + JPEG) and reconstruct at the base station,
+  stepping the erase ratio up whenever the backlog grows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codecs import JpegCodec, MbtCodec
+from repro.core import EaszCodec, EaszConfig
+from repro.datasets import SyntheticImageGenerator
+from repro.edge import EdgeServerTestbed
+from repro.experiments import default_benchmark_config, format_table, pretrained_model
+from repro.metrics import psnr
+
+
+def simulate_day(num_captures=6):
+    config = default_benchmark_config()
+    model = pretrained_model(config, steps=600, batch_size=32)
+    generator = SyntheticImageGenerator(96, 144, color=True, texture_strength=1.2)
+    testbed = EdgeServerTestbed()
+    captures = [generator.generate(1000 + index) for index in range(num_captures)]
+
+    strategies = {
+        "jpeg-only": lambda backlog: JpegCodec(quality=70),
+        "mbt-on-edge": lambda backlog: MbtCodec(quality=4),
+        "easz-adaptive": lambda backlog: EaszCodec(
+            config=EaszConfig(**{**config.__dict__,
+                                 "erase_per_row": 1 if backlog < 3 else 2}),
+            base_codec=JpegCodec(quality=70), model=model, seed=0),
+    }
+
+    rows = []
+    for name, make_codec in strategies.items():
+        total_bytes = 0
+        total_latency_ms = 0.0
+        total_energy_j = 0.0
+        psnrs = []
+        for backlog, image in enumerate(captures):
+            codec = make_codec(backlog)
+            reconstruction, compressed = codec.roundtrip(image)
+            report = testbed.run(codec, shape=image.shape, payload_bytes=compressed.num_bytes,
+                                 include_load=False)
+            edge_time_s = (report.timing.erase_squeeze_ms + report.timing.encode_ms) / 1e3
+            total_bytes += compressed.num_bytes
+            total_latency_ms += report.timing.total_ms
+            total_energy_j += report.edge_total_power_w * edge_time_s
+            psnrs.append(psnr(image, reconstruction))
+        rows.append([name, total_bytes, round(total_latency_ms / len(captures), 1),
+                     round(total_energy_j, 3), round(float(np.mean(psnrs)), 2)])
+    return rows
+
+
+def main():
+    rows = simulate_day()
+    print(format_table(
+        ["strategy", "total_bytes", "avg_latency_ms", "edge_energy_J", "avg_psnr_db"], rows,
+        title="Wildlife camera node — one burst of 6 captures (simulated TX2 testbed)"))
+    print("\nEasz keeps edge energy near the JPEG-only floor while cutting transmitted "
+          "bytes, and it changes compression level without swapping models.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Setuptools entry point (kept for legacy editable installs without wheel)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "Easz: an agile transformer-based image compression framework for "
+        "resource-constrained IoTs (DAC 2025) — full numpy reproduction"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+    entry_points={"console_scripts": ["repro = repro.experiments.cli:main"]},
+)

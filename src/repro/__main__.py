@@ -1,0 +1,10 @@
+"""``python -m repro`` — command-line entry point (see :mod:`repro.experiments.cli`)."""
+
+from __future__ import annotations
+
+import sys
+
+from .experiments.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""MBT baseline: Minnen, Ballé & Toderici (NeurIPS 2018) stand-in.
+
+The paper uses the CompressAI ``mbt2018`` model ("joint autoregressive and
+hierarchical priors").  This proxy configures
+:class:`repro.codecs.neural.LearnedTransformCodec` with the hyperprior
+entropy model and the published computational footprint of the original
+network (≈226 GMACs for a 512×768 image → ≈575 kMAC/pixel, ~98 MB of fp32
+weights), so both the rate/quality ordering and the edge-cost simulation
+match the role MBT plays in the paper's comparisons.
+"""
+
+from __future__ import annotations
+
+from .neural import LearnedTransformCodec
+
+__all__ = ["MbtCodec"]
+
+
+class MbtCodec(LearnedTransformCodec):
+    """Minnen et al. 2018 ("MBT") proxy codec.
+
+    Parameters
+    ----------
+    quality:
+        CompressAI-style quality index in ``[1, 8]``.
+    """
+
+    def __init__(self, quality=4, rng=None):
+        super().__init__(
+            quality=quality,
+            entropy_model="hyperprior",
+            base_step=88.0,
+            macs_per_pixel=575_000.0,
+            model_bytes=98 * 2 ** 20,
+            name="mbt",
+            rng=rng,
+        )

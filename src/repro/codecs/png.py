@@ -1,0 +1,109 @@
+"""Lossless PNG-style codec (Paeth filtering + DEFLATE).
+
+Serves as the lossless reference point in the benchmark harness and as the
+transport format for raw (uncompressed-quality) transmission experiments.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from ..image import image_num_pixels, to_float, to_uint8
+from .base import Codec, ComplexityProfile, CompressedImage
+
+__all__ = ["PngCodec"]
+
+_MAGIC = b"RPNG"
+
+
+def _paeth(a, b, c):
+    """Paeth predictor used by PNG filter type 4 (vectorised)."""
+    p = a.astype(np.int32) + b.astype(np.int32) - c.astype(np.int32)
+    pa = np.abs(p - a)
+    pb = np.abs(p - b)
+    pc = np.abs(p - c)
+    out = np.where((pa <= pb) & (pa <= pc), a, np.where(pb <= pc, b, c))
+    return out.astype(np.uint8)
+
+
+class PngCodec(Codec):
+    """Lossless codec: per-row Paeth prediction followed by zlib DEFLATE."""
+
+    is_neural = False
+
+    def __init__(self, compression_level=6):
+        self.compression_level = int(compression_level)
+        self.name = "png"
+
+    def compress(self, image):
+        """Losslessly encode a float image (quantised to 8-bit first)."""
+        image = to_uint8(to_float(image))
+        if image.ndim == 2:
+            image = image[..., None]
+        height, width, channels = image.shape
+        filtered = np.zeros_like(image)
+        previous_row = np.zeros((width, channels), dtype=np.uint8)
+        for row in range(height):
+            current = image[row]
+            left = np.zeros_like(current)
+            left[1:] = current[:-1]
+            upper_left = np.zeros_like(previous_row)
+            upper_left[1:] = previous_row[:-1]
+            prediction = _paeth(left, previous_row, upper_left)
+            filtered[row] = current - prediction
+            previous_row = current
+        payload = zlib.compress(filtered.tobytes(), self.compression_level)
+        header = _MAGIC + height.to_bytes(2, "big") + width.to_bytes(2, "big") + bytes([channels])
+        return CompressedImage(
+            payload=header + payload,
+            original_shape=image.shape if channels > 1 else (height, width),
+            codec_name=self.name,
+            metadata={"channels": channels},
+        )
+
+    def decompress(self, compressed):
+        """Exactly recover the 8-bit image encoded by :meth:`compress`."""
+        payload = compressed.payload
+        if payload[:4] != _MAGIC:
+            raise ValueError("not a repro-PNG payload")
+        height = int.from_bytes(payload[4:6], "big")
+        width = int.from_bytes(payload[6:8], "big")
+        channels = payload[8]
+        try:
+            raw = zlib.decompress(payload[9:])
+        except zlib.error as error:
+            raise ValueError(f"corrupt PNG payload: {error}") from error
+        filtered = np.frombuffer(raw, dtype=np.uint8)
+        if filtered.size != height * width * channels:
+            raise ValueError(
+                f"corrupt PNG payload: expected {height * width * channels} samples, "
+                f"got {filtered.size}"
+            )
+        filtered = filtered.reshape(height, width, channels).astype(np.int32)
+        image = np.zeros((height, width, channels), dtype=np.uint8)
+        previous_row = np.zeros((width, channels), dtype=np.uint8)
+        for row in range(height):
+            current = np.zeros((width, channels), dtype=np.uint8)
+            for col in range(width):
+                left = current[col - 1] if col > 0 else np.zeros(channels, dtype=np.uint8)
+                upper_left = previous_row[col - 1] if col > 0 else np.zeros(channels, dtype=np.uint8)
+                prediction = _paeth(left, previous_row[col], upper_left)
+                current[col] = (filtered[row, col] + prediction).astype(np.uint8)
+            image[row] = current
+            previous_row = current
+        result = image.astype(np.float64) / 255.0
+        if channels == 1:
+            return result[..., 0]
+        return result
+
+    def encode_complexity(self, shape):
+        """Filtering + DEFLATE cost (cheap, CPU only)."""
+        pixels = image_num_pixels(shape)
+        return ComplexityProfile(macs=20.0 * pixels, uses_gpu=False)
+
+    def decode_complexity(self, shape):
+        """Inverse filtering cost."""
+        pixels = image_num_pixels(shape)
+        return ComplexityProfile(macs=20.0 * pixels, uses_gpu=False)

@@ -1,0 +1,228 @@
+"""Adaptive compression-level control for Easz (the paper's "agility").
+
+Easz changes its compression level by changing a single sampler parameter —
+the erase ratio — so the edge device can re-target the bitrate per image
+without loading a different model (the cost conventional NN codecs pay in
+Fig. 1).  This module provides the controllers that exploit that property:
+
+* :class:`BitrateController` — pick the smallest erase ratio whose compressed
+  size meets a bits-per-pixel target (the operating points of Table II);
+* :class:`BandwidthAdaptiveController` — translate a transmission-latency
+  deadline over a :class:`repro.edge.WirelessChannel` into a byte budget and
+  delegate to the bitrate controller;
+* :class:`EraseRatioSchedule` — a streaming controller that tracks observed
+  uplink throughput with an exponential moving average and adjusts the erase
+  ratio between frames (used by the adaptive-bitrate and fleet examples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..codecs.jpeg import JpegCodec
+from ..image import image_num_pixels, to_float
+from .config import EaszConfig
+from .pipeline import EaszEncoder
+
+__all__ = [
+    "RateControlResult",
+    "BitrateController",
+    "BandwidthAdaptiveController",
+    "EraseRatioSchedule",
+]
+
+
+@dataclass
+class RateControlResult:
+    """Outcome of one rate-control decision."""
+
+    erase_per_row: int
+    erase_ratio: float
+    achieved_bpp: float
+    target_bpp: float
+    num_bytes: int
+    evaluations: int = 0
+    candidates: list = field(default_factory=list)
+
+    @property
+    def met_target(self):
+        """Whether the achieved rate is at or below the target."""
+        return self.achieved_bpp <= self.target_bpp + 1e-9
+
+
+class BitrateController:
+    """Selects the erase ratio that meets a bits-per-pixel target.
+
+    The controller prefers the *least* erasure that satisfies the rate
+    target, because reconstruction quality degrades monotonically with the
+    erase ratio (paper Fig. 7c).  The compressed size decreases monotonically
+    with ``erase_per_row`` (fewer pixels reach the base codec), so a linear
+    sweep over the — small — set of levels is exact and cheap; results are
+    cached per (image id, target) for repeated queries.
+
+    Parameters
+    ----------
+    config:
+        Base :class:`EaszConfig`; its ``erase_per_row`` is overridden by the
+        controller.
+    base_codec:
+        The codec compressing the squeezed image (JPEG quality 75 default).
+    max_erase_per_row:
+        Upper bound on the erase level (defaults to ``grid_size - 1``).
+    """
+
+    def __init__(self, config=None, base_codec=None, max_erase_per_row=None, seed=0):
+        self.config = config or EaszConfig()
+        self.base_codec = base_codec if base_codec is not None else JpegCodec(quality=75)
+        limit = self.config.grid_size - 1
+        self.max_erase_per_row = limit if max_erase_per_row is None else min(limit, max_erase_per_row)
+        self.seed = seed
+
+    # ------------------------------------------------------------------ #
+    def measure(self, image, erase_per_row):
+        """Compressed size (bytes) and BPP of ``image`` at one erase level."""
+        image = to_float(image)
+        delta = self.config.intra_row_min_distance
+        if erase_per_row * (delta + 1) > self.config.grid_size:
+            # High erase levels cannot honour the spacing constraint; relax it
+            # rather than refuse the level (the sampler still avoids adjacency
+            # where it can).
+            delta = 0
+        config = replace(self.config, erase_per_row=erase_per_row,
+                         intra_row_min_distance=delta)
+        encoder = EaszEncoder(config, self.base_codec, seed=self.seed)
+        package = encoder.encode(image)
+        return package.num_bytes, package.bpp()
+
+    def select(self, image, target_bpp):
+        """Pick the smallest erase level whose BPP is at or below ``target_bpp``.
+
+        If even the maximum erase level exceeds the target, the maximum level
+        is returned with ``met_target`` false so callers can fall back to a
+        coarser base-codec quality.
+        """
+        if target_bpp <= 0:
+            raise ValueError("target_bpp must be positive")
+        image = to_float(image)
+        candidates = []
+        chosen = None
+        for level in range(0, self.max_erase_per_row + 1):
+            num_bytes, bpp = self.measure(image, level)
+            candidates.append((level, bpp))
+            if bpp <= target_bpp:
+                chosen = (level, num_bytes, bpp)
+                break
+        if chosen is None:
+            level, bpp = candidates[-1]
+            num_bytes = int(bpp * image_num_pixels(image) / 8.0)
+            chosen = (level, num_bytes, bpp)
+        level, num_bytes, bpp = chosen
+        config = replace(self.config, erase_per_row=level)
+        return RateControlResult(
+            erase_per_row=level,
+            erase_ratio=config.erase_ratio,
+            achieved_bpp=bpp,
+            target_bpp=float(target_bpp),
+            num_bytes=int(num_bytes),
+            evaluations=len(candidates),
+            candidates=candidates,
+        )
+
+    def config_for(self, image, target_bpp):
+        """Convenience: return an :class:`EaszConfig` tuned for the target."""
+        result = self.select(image, target_bpp)
+        return replace(self.config, erase_per_row=result.erase_per_row), result
+
+
+class BandwidthAdaptiveController:
+    """Chooses an erase ratio so a frame transmits within a latency deadline.
+
+    Given a :class:`repro.edge.WirelessChannel` and a per-frame deadline, the
+    channel model is inverted to obtain the byte budget that still meets the
+    deadline, converted to a BPP target and passed to the
+    :class:`BitrateController`.
+    """
+
+    def __init__(self, channel, config=None, base_codec=None, seed=0):
+        self.channel = channel
+        self.controller = BitrateController(config=config, base_codec=base_codec, seed=seed)
+
+    def byte_budget(self, deadline_ms):
+        """Largest payload (bytes) whose transmit latency is within the deadline."""
+        serialisation_ms = deadline_ms - self.channel.per_transfer_overhead_ms
+        if serialisation_ms <= 0:
+            return 0
+        factor = max(1.0, self.channel.loss_retransmission_factor)
+        bits = serialisation_ms * 1e-3 * self.channel.bandwidth_mbps * 1e6 / factor
+        return int(bits // 8)
+
+    def select(self, image, deadline_ms):
+        """Pick an erase level so the compressed frame meets ``deadline_ms``."""
+        budget = self.byte_budget(deadline_ms)
+        if budget <= 0:
+            raise ValueError(
+                f"deadline {deadline_ms} ms is below the channel's fixed overhead "
+                f"({self.channel.per_transfer_overhead_ms} ms); no payload can meet it"
+            )
+        target_bpp = 8.0 * budget / image_num_pixels(to_float(image))
+        result = self.controller.select(image, target_bpp)
+        return result
+
+
+class EraseRatioSchedule:
+    """Streaming erase-ratio controller driven by observed uplink throughput.
+
+    Maintains an exponential moving average of the goodput observed for past
+    frames and maps the byte budget implied by the frame deadline onto the
+    erase level.  This is the controller a camera node would run: no model
+    reload, no codec reconfiguration — just a different sampler parameter for
+    the next frame.
+    """
+
+    def __init__(self, config=None, frame_deadline_ms=500.0, overhead_ms=120.0,
+                 smoothing=0.3, initial_throughput_bps=6e6):
+        self.config = config or EaszConfig()
+        self.frame_deadline_ms = float(frame_deadline_ms)
+        self.overhead_ms = float(overhead_ms)
+        self.smoothing = float(smoothing)
+        self.throughput_bps = float(initial_throughput_bps)
+        self.history = []
+
+    def update(self, transmitted_bytes, observed_ms):
+        """Fold one observed transfer into the throughput estimate."""
+        effective_ms = max(1e-3, observed_ms - self.overhead_ms)
+        observed_bps = transmitted_bytes * 8.0 / (effective_ms * 1e-3)
+        self.throughput_bps = (
+            (1.0 - self.smoothing) * self.throughput_bps + self.smoothing * observed_bps
+        )
+        self.history.append({
+            "bytes": int(transmitted_bytes),
+            "observed_ms": float(observed_ms),
+            "throughput_bps": self.throughput_bps,
+        })
+        return self.throughput_bps
+
+    def byte_budget(self):
+        """Byte budget for the next frame under the current throughput estimate."""
+        usable_ms = max(0.0, self.frame_deadline_ms - self.overhead_ms)
+        return int(self.throughput_bps * usable_ms * 1e-3 / 8.0)
+
+    def erase_per_row_for(self, image_shape, bytes_per_pixel_at_zero_erase):
+        """Erase level for the next frame of ``image_shape``.
+
+        ``bytes_per_pixel_at_zero_erase`` is the measured compressed density
+        of recent frames without erasure (callers track it from the encoder's
+        output); the erase level scales the pixel count reaching the codec,
+        so the required kept fraction follows directly.
+        """
+        budget = self.byte_budget()
+        pixels = image_num_pixels(image_shape)
+        required = bytes_per_pixel_at_zero_erase * pixels
+        if required <= 0:
+            return 0
+        kept_fraction = min(1.0, budget / required)
+        grid = self.config.grid_size
+        erase = int(np.ceil((1.0 - kept_fraction) * grid))
+        return int(np.clip(erase, 0, grid - 1))

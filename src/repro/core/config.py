@@ -1,0 +1,126 @@
+"""Configuration objects for the Easz framework."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["EaszConfig"]
+
+
+@dataclass
+class EaszConfig:
+    """Hyper-parameters of the Easz erase-and-squeeze + reconstruction pipeline.
+
+    Attributes
+    ----------
+    patch_size:
+        First-stage patch size ``n`` — attention never crosses a patch
+        boundary (paper Section III-B, "Two-Stage Image Patchify").
+    subpatch_size:
+        Second-stage sub-patch (erase block) size ``b``; sub-patches are the
+        tokens of the reconstruction transformer and the erase granularity.
+    erase_per_row:
+        ``T`` — number of sub-patches erased per sub-patch row by the
+        row-based conditional sampler.  ``erase_ratio`` is ``T / (n/b)``.
+    intra_row_min_distance:
+        ``δ`` — minimum column distance between erased sub-patches within
+        the same row (Eq. 1).
+    inter_row_min_distance:
+        ``Δ`` — minimum column distance from the erased sub-patches of the
+        previous row.
+    channels:
+        Image channels the reconstructor operates on (1 = per-channel /
+        grayscale operation, 3 = joint RGB tokens).
+    d_model, num_heads, encoder_blocks, decoder_blocks, ffn_mult:
+        Transformer dimensions (paper: two encoder + two decoder blocks).
+    loss_lambda:
+        Weight of the perceptual (LPIPS-proxy) term in the training loss
+        (paper Eq. 2 uses 0.3).
+    learning_rate, weight_decay, batch_size:
+        Pre-training hyper-parameters (paper Section IV-A).
+    seed:
+        Seed controlling weight initialisation and mask sampling.
+    """
+
+    patch_size: int = 32
+    subpatch_size: int = 4
+    erase_per_row: int = 2
+    intra_row_min_distance: int = 1
+    inter_row_min_distance: int = 0
+    channels: int = 1
+    d_model: int = 64
+    num_heads: int = 4
+    encoder_blocks: int = 2
+    decoder_blocks: int = 2
+    ffn_mult: int = 4
+    dropout: float = 0.0
+    loss_lambda: float = 0.3
+    learning_rate: float = 2.8e-4
+    weight_decay: float = 0.05
+    batch_size: int = 32
+    seed: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.patch_size % self.subpatch_size != 0:
+            raise ValueError(
+                f"patch_size {self.patch_size} must be divisible by subpatch_size {self.subpatch_size}"
+            )
+        if self.d_model % self.num_heads != 0:
+            raise ValueError(
+                f"d_model {self.d_model} must be divisible by num_heads {self.num_heads}"
+            )
+        if not 0 <= self.erase_per_row < self.grid_size:
+            raise ValueError(
+                f"erase_per_row {self.erase_per_row} must be in [0, {self.grid_size})"
+            )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def grid_size(self):
+        """Number of sub-patches per patch side: ``n / b``."""
+        return self.patch_size // self.subpatch_size
+
+    @property
+    def tokens_per_patch(self):
+        """Number of sub-patch tokens in one patch: ``(n/b)²``."""
+        return self.grid_size ** 2
+
+    @property
+    def token_dim(self):
+        """Dimensionality of one flattened sub-patch token: ``b² · channels``."""
+        return self.subpatch_size ** 2 * self.channels
+
+    @property
+    def erase_ratio(self):
+        """Fraction of sub-patches erased: ``T / (n/b)``."""
+        return self.erase_per_row / self.grid_size
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def paper(cls, **overrides):
+        """Paper-scale configuration (≈8.7 MB reconstruction model)."""
+        defaults = dict(patch_size=32, subpatch_size=4, erase_per_row=2,
+                        d_model=192, num_heads=6, encoder_blocks=2, decoder_blocks=2,
+                        ffn_mult=4)
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    @classmethod
+    def small(cls, **overrides):
+        """CPU-friendly configuration used by tests and benchmarks."""
+        defaults = dict(patch_size=16, subpatch_size=4, erase_per_row=1,
+                        d_model=32, num_heads=4, encoder_blocks=2, decoder_blocks=2,
+                        ffn_mult=2)
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    def with_erase_ratio(self, ratio):
+        """Return a copy whose ``erase_per_row`` approximates ``ratio``.
+
+        This is how Easz switches compression level without touching the
+        model: only the sampler parameter changes.
+        """
+        erase_per_row = int(round(ratio * self.grid_size))
+        erase_per_row = max(0, min(self.grid_size - 1, erase_per_row))
+        return EaszConfig(**{**self.__dict__, "erase_per_row": erase_per_row})

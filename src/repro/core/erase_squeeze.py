@@ -1,0 +1,222 @@
+"""Erase-and-squeeze operations (paper Section III-A).
+
+Given an erase mask over the sub-patch grid (1 = keep, 0 = erase), the edge
+device drops the erased sub-patches and horizontally packs the survivors of
+each sub-patch row next to each other ("squeeze"), producing a smaller
+rectangular patch — and, applied to every patch of an image, a smaller image
+that any off-the-shelf codec can compress.  On the server side the inverse
+("unsqueeze") scatters the transmitted sub-patches back to their original
+grid positions, filling the erased slots with zeros or a neighbouring
+sub-patch before transformer reconstruction.
+
+The squeeze requires the mask to erase the *same number* of sub-patches in
+every row (which the row-based conditional sampler guarantees); masks that do
+not satisfy this are rejected with a clear error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .patchify import (
+    image_to_patches,
+    patch_to_subpatches,
+    patches_to_image,
+    subpatches_to_patch,
+)
+
+__all__ = [
+    "validate_balanced_mask",
+    "erase_patch",
+    "squeeze_patch",
+    "unsqueeze_patch",
+    "erase_and_squeeze_image",
+    "unsqueeze_image",
+    "squeezed_shape",
+]
+
+
+def validate_balanced_mask(mask):
+    """Check the mask erases the same number of sub-patches in every row.
+
+    Returns the per-row kept count on success.
+    """
+    mask = np.asarray(mask)
+    kept_per_row = mask.sum(axis=1)
+    if not np.all(kept_per_row == kept_per_row[0]):
+        raise ValueError(
+            "squeeze requires a row-balanced mask (same number of erased sub-patches "
+            f"per row); got per-row kept counts {kept_per_row.tolist()}"
+        )
+    return int(kept_per_row[0])
+
+
+def erase_patch(patch, mask, subpatch_size, fill_value=0.0):
+    """Zero out the erased sub-patches of a patch (no squeezing).
+
+    Useful for visualisation and for measuring what a codec does to a
+    partially-erased (but not packed) image.
+    """
+    subpatches = patch_to_subpatches(patch, subpatch_size).copy()
+    mask = np.asarray(mask, dtype=bool)
+    subpatches[~mask] = fill_value
+    return subpatches_to_patch(subpatches)
+
+
+def squeeze_patch(patch, mask, subpatch_size, direction="horizontal"):
+    """Remove erased sub-patches and pack the survivors of each row together.
+
+    Parameters
+    ----------
+    direction:
+        ``"horizontal"`` packs survivors within each sub-patch row (output is
+        ``n × kept·b``); ``"vertical"`` operates on columns instead.
+    """
+    if direction not in ("horizontal", "vertical"):
+        raise ValueError("direction must be 'horizontal' or 'vertical'")
+    mask = np.asarray(mask, dtype=bool)
+    if direction == "vertical":
+        transposed = patch.swapaxes(0, 1) if patch.ndim == 2 else patch.transpose(1, 0, 2)
+        squeezed = squeeze_patch(transposed, mask.T, subpatch_size, "horizontal")
+        return squeezed.swapaxes(0, 1) if squeezed.ndim == 2 else squeezed.transpose(1, 0, 2)
+    kept_per_row = validate_balanced_mask(mask)
+    subpatches = patch_to_subpatches(patch, subpatch_size)
+    grid = mask.shape[0]
+    rows = []
+    for row in range(grid):
+        kept = subpatches[row][mask[row]]
+        rows.append(kept)
+    packed = np.stack(rows)  # (grid, kept_per_row, b, b[, C])
+    return subpatches_to_patch_rect(packed, kept_per_row)
+
+
+def subpatches_to_patch_rect(subpatch_rows, kept_per_row):
+    """Assemble a (possibly non-square) grid of sub-patches into an image block."""
+    subpatch_rows = np.asarray(subpatch_rows)
+    grid_rows = subpatch_rows.shape[0]
+    b = subpatch_rows.shape[2]
+    if subpatch_rows.ndim == 5:
+        channels = subpatch_rows.shape[4]
+        block = subpatch_rows.transpose(0, 2, 1, 3, 4).reshape(grid_rows * b, kept_per_row * b, channels)
+    else:
+        block = subpatch_rows.transpose(0, 2, 1, 3).reshape(grid_rows * b, kept_per_row * b)
+    return block
+
+
+def _rect_to_subpatch_rows(block, kept_per_row, subpatch_size):
+    """Inverse of :func:`subpatches_to_patch_rect`."""
+    block = np.asarray(block)
+    grid_rows = block.shape[0] // subpatch_size
+    if block.ndim == 3:
+        channels = block.shape[2]
+        rows = block.reshape(grid_rows, subpatch_size, kept_per_row, subpatch_size, channels)
+        return rows.transpose(0, 2, 1, 3, 4)
+    rows = block.reshape(grid_rows, subpatch_size, kept_per_row, subpatch_size)
+    return rows.transpose(0, 2, 1, 3)
+
+
+def unsqueeze_patch(squeezed, mask, subpatch_size, fill="zero"):
+    """Scatter squeezed sub-patches back to their original grid positions.
+
+    ``fill`` controls the content of erased positions before reconstruction:
+    ``"zero"`` (paper default — the reconstructor receives zero vectors),
+    ``"neighbor"`` (copy the nearest kept sub-patch in the same row, the
+    alternative shown in Fig. 2(b) right), or ``"mean"`` (row mean).
+    """
+    if fill not in ("zero", "neighbor", "mean"):
+        raise ValueError("fill must be 'zero', 'neighbor' or 'mean'")
+    mask = np.asarray(mask, dtype=bool)
+    kept_per_row = validate_balanced_mask(mask)
+    grid = mask.shape[0]
+    packed = _rect_to_subpatch_rows(squeezed, kept_per_row, subpatch_size)
+    sample = packed[0, 0]
+    full_shape = (grid, grid) + sample.shape
+    subpatches = np.zeros(full_shape, dtype=np.float64)
+    for row in range(grid):
+        kept_columns = np.flatnonzero(mask[row])
+        subpatches[row, kept_columns] = packed[row]
+        if fill == "zero":
+            continue
+        erased_columns = np.flatnonzero(~mask[row])
+        if kept_columns.size == 0:
+            continue
+        for column in erased_columns:
+            if fill == "neighbor":
+                nearest = kept_columns[np.argmin(np.abs(kept_columns - column))]
+                subpatches[row, column] = subpatches[row, nearest]
+            else:  # mean
+                subpatches[row, column] = packed[row].mean(axis=0)
+    return subpatches_to_patch(subpatches)
+
+
+def squeezed_shape(image_shape, patch_size, subpatch_size, erase_per_row,
+                   direction="horizontal"):
+    """Shape of the squeezed image produced by :func:`erase_and_squeeze_image`."""
+    height, width = image_shape[:2]
+    padded_h = height + (-height) % patch_size
+    padded_w = width + (-width) % patch_size
+    grid = patch_size // subpatch_size
+    kept = grid - erase_per_row
+    if direction == "horizontal":
+        new_w = padded_w * kept // grid
+        spatial = (padded_h, new_w)
+    else:
+        new_h = padded_h * kept // grid
+        spatial = (new_h, padded_w)
+    if len(image_shape) == 3:
+        return spatial + (image_shape[2],)
+    return spatial
+
+
+def erase_and_squeeze_image(image, mask, patch_size, subpatch_size, direction="horizontal"):
+    """Apply erase-and-squeeze with a shared mask to every patch of an image.
+
+    Returns ``(squeezed_image, grid_shape, original_shape)`` — the latter two
+    are needed by :func:`unsqueeze_image`.
+    """
+    patches, grid_shape, original_shape = image_to_patches(image, patch_size)
+    squeezed_patches = np.stack([
+        squeeze_patch(patch, mask, subpatch_size, direction) for patch in patches
+    ])
+    rows, cols = grid_shape
+    ph, pw = squeezed_patches.shape[1], squeezed_patches.shape[2]
+    if squeezed_patches.ndim == 4:
+        channels = squeezed_patches.shape[3]
+        grid = squeezed_patches.reshape(rows, cols, ph, pw, channels)
+        squeezed = grid.transpose(0, 2, 1, 3, 4).reshape(rows * ph, cols * pw, channels)
+    else:
+        grid = squeezed_patches.reshape(rows, cols, ph, pw)
+        squeezed = grid.transpose(0, 2, 1, 3).reshape(rows * ph, cols * pw)
+    return squeezed, grid_shape, original_shape
+
+
+def unsqueeze_image(squeezed, mask, patch_size, subpatch_size, grid_shape, original_shape,
+                    fill="zero", direction="horizontal"):
+    """Inverse of :func:`erase_and_squeeze_image` (erased slots filled per ``fill``)."""
+    mask = np.asarray(mask, dtype=bool)
+    rows, cols = grid_shape
+    grid = mask.shape[0]
+    kept = int(mask.sum(axis=1)[0])
+    if direction == "horizontal":
+        ph, pw = patch_size, kept * subpatch_size
+    else:
+        ph, pw = kept * subpatch_size, patch_size
+    if squeezed.ndim == 3:
+        channels = squeezed.shape[2]
+        patches = squeezed.reshape(rows, ph, cols, pw, channels).transpose(0, 2, 1, 3, 4)
+        patches = patches.reshape(rows * cols, ph, pw, channels)
+    else:
+        patches = squeezed.reshape(rows, ph, cols, pw).transpose(0, 2, 1, 3)
+        patches = patches.reshape(rows * cols, ph, pw)
+    if direction == "vertical":
+        restored = [
+            unsqueeze_patch(
+                patch.swapaxes(0, 1) if patch.ndim == 2 else patch.transpose(1, 0, 2),
+                mask.T, subpatch_size, fill,
+            )
+            for patch in patches
+        ]
+        restored = [p.swapaxes(0, 1) if p.ndim == 2 else p.transpose(1, 0, 2) for p in restored]
+    else:
+        restored = [unsqueeze_patch(patch, mask, subpatch_size, fill) for patch in patches]
+    return patches_to_image(np.stack(restored), grid_shape, original_shape)

@@ -1,0 +1,171 @@
+"""Lightweight transformer reconstruction network (paper Section III-B, Fig. 5).
+
+The reconstructor is a masked auto-encoder over sub-patch tokens:
+
+* every *kept* sub-patch is flattened, linearly projected to ``d_model`` and
+  summed with a learned positional embedding for its grid position;
+* a two-block transformer **encoder** turns the kept tokens into features;
+* zero vectors are inserted at the erased grid positions (plus their
+  positional embeddings) and the combined sequence runs through a two-block
+  transformer **decoder**;
+* a linear head projects every token back to ``b²·channels`` pixels.
+
+Because attention is confined to one patch, the same (small) model serves any
+erase ratio and any image size — the "agility" of Easz.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..image import is_color, to_float
+from .config import EaszConfig
+from .patchify import (
+    image_to_patches,
+    patch_to_subpatches,
+    patches_to_image,
+    subpatches_to_patch,
+    subpatches_to_tokens,
+    tokens_to_subpatches,
+)
+
+__all__ = ["EaszReconstructor", "reconstruct_image"]
+
+
+class EaszReconstructor(nn.Module):
+    """Transformer masked auto-encoder for erased sub-patch reconstruction."""
+
+    def __init__(self, config=None, rng=None):
+        super().__init__()
+        self.config = config or EaszConfig()
+        rng = rng or np.random.default_rng(self.config.seed)
+        cfg = self.config
+        self.input_projection = nn.Linear(cfg.token_dim, cfg.d_model, rng=rng)
+        self.positional_embedding = nn.Parameter(
+            nn.init.normal((cfg.tokens_per_patch, cfg.d_model), rng, std=0.02)
+        )
+        self.encoder = nn.TransformerStack(cfg.encoder_blocks, cfg.d_model, cfg.num_heads,
+                                           cfg.ffn_mult, cfg.dropout, rng=rng)
+        self.decoder = nn.TransformerStack(cfg.decoder_blocks, cfg.d_model, cfg.num_heads,
+                                           cfg.ffn_mult, cfg.dropout, rng=rng)
+        self.output_projection = nn.Linear(cfg.d_model, cfg.token_dim, rng=rng)
+
+    # ------------------------------------------------------------------ #
+    def forward(self, tokens, mask):
+        """Reconstruct all sub-patch tokens of a batch of patches.
+
+        Parameters
+        ----------
+        tokens:
+            Array or tensor of shape ``(batch, tokens_per_patch, token_dim)``
+            holding **all** sub-patch tokens in grid order; the values at
+            erased positions are ignored (the encoder never sees them).
+        mask:
+            ``(grid, grid)`` or flattened ``(tokens_per_patch,)`` binary mask
+            shared by the whole batch (1 = kept, 0 = erased).
+
+        Returns
+        -------
+        Tensor of shape ``(batch, tokens_per_patch, token_dim)`` with pixel
+        values in ``[0, 1]`` for every position (kept positions are also
+        re-predicted; callers typically keep the original kept pixels).
+        """
+        tokens = nn.as_tensor(tokens)
+        cfg = self.config
+        flat_mask = np.asarray(mask, dtype=bool).reshape(-1)
+        if flat_mask.size != cfg.tokens_per_patch:
+            raise ValueError(
+                f"mask has {flat_mask.size} entries, expected {cfg.tokens_per_patch}"
+            )
+        kept_indices = np.flatnonzero(flat_mask)
+        batch = tokens.shape[0]
+
+        kept_tokens = tokens[:, kept_indices, :]
+        embedded = self.input_projection(kept_tokens) + self.positional_embedding[kept_indices]
+        encoded = self.encoder(embedded)
+
+        # Scatter encoded features back to their grid positions; erased
+        # positions receive zero vectors (plus positional embeddings), as in
+        # the paper's Fig. 5.
+        scatter = np.zeros((cfg.tokens_per_patch, kept_indices.size))
+        scatter[kept_indices, np.arange(kept_indices.size)] = 1.0
+        full_features = nn.Tensor(scatter) @ encoded  # (batch, tokens, d_model) via broadcasting
+        full_features = full_features + self.positional_embedding
+        decoded = self.decoder(full_features)
+        return self.output_projection(decoded).sigmoid()
+
+    # ------------------------------------------------------------------ #
+    def reconstruct_tokens(self, tokens, mask, keep_original=True):
+        """Numpy convenience wrapper around :meth:`forward` (no gradients).
+
+        When ``keep_original`` is true the returned array keeps the original
+        values at kept positions and only substitutes predictions at erased
+        positions (this is how the server-side pipeline uses the model).
+        """
+        with nn.no_grad():
+            predicted = self.forward(tokens, mask).data
+        if keep_original:
+            flat_mask = np.asarray(mask, dtype=bool).reshape(-1)
+            output = np.array(predicted)
+            output[:, flat_mask, :] = np.asarray(tokens)[:, flat_mask, :]
+            return output
+        return predicted
+
+    # ------------------------------------------------------------------ #
+    def model_size_bytes(self, bytes_per_param=4):
+        """Serialized model size (fp32), comparable to the paper's 8.7 MB."""
+        return self.size_bytes(bytes_per_param)
+
+    def reconstruction_flops(self, image_shape):
+        """Approximate MACs to reconstruct an image of ``image_shape``."""
+        cfg = self.config
+        height, width = image_shape[:2]
+        padded_h = height + (-height) % cfg.patch_size
+        padded_w = width + (-width) % cfg.patch_size
+        num_patches = (padded_h // cfg.patch_size) * (padded_w // cfg.patch_size)
+        tokens = cfg.tokens_per_patch
+        per_patch = self.encoder.flops(tokens) + self.decoder.flops(tokens)
+        per_patch += 2 * tokens * cfg.token_dim * cfg.d_model * 2
+        channels = image_shape[2] if len(image_shape) == 3 and cfg.channels == 1 else 1
+        return float(num_patches * per_patch * channels)
+
+
+def reconstruct_image(model, filled_image, mask, keep_original=True):
+    """Reconstruct the erased sub-patches of a zero-filled (unsqueezed) image.
+
+    Parameters
+    ----------
+    model:
+        A trained :class:`EaszReconstructor`.
+    filled_image:
+        The unsqueezed image (erased sub-patches present but zero/neighbour
+        filled), grayscale or RGB.
+    mask:
+        The shared sub-patch mask used on the edge side (1 = kept).
+
+    RGB images are processed channel-by-channel when the model was built with
+    ``channels=1`` (the default), otherwise jointly.
+    """
+    cfg = model.config
+    filled_image = to_float(filled_image)
+    if is_color(filled_image) and cfg.channels == 1:
+        channels = [reconstruct_image(model, filled_image[..., c], mask, keep_original)
+                    for c in range(3)]
+        return np.stack(channels, axis=-1)
+    if not is_color(filled_image) and cfg.channels == 3:
+        raise ValueError("model expects RGB tokens but received a grayscale image")
+
+    patches, grid_shape, original_shape = image_to_patches(filled_image, cfg.patch_size)
+    token_batches = np.stack([
+        subpatches_to_tokens(patch_to_subpatches(patch, cfg.subpatch_size))
+        for patch in patches
+    ])
+    reconstructed_tokens = model.reconstruct_tokens(token_batches, mask, keep_original)
+    rebuilt_patches = []
+    for tokens in reconstructed_tokens:
+        subpatches = tokens_to_subpatches(tokens, cfg.grid_size, cfg.subpatch_size,
+                                          cfg.channels)
+        rebuilt_patches.append(subpatches_to_patch(subpatches))
+    image = patches_to_image(np.stack(rebuilt_patches), grid_shape, original_shape)
+    return np.clip(image, 0.0, 1.0)

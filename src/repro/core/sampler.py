@@ -1,0 +1,130 @@
+"""Row-based conditional sampler for erase-mask generation (paper Sec. III-A).
+
+The sampler walks the sub-patch grid row by row and, within each row, draws
+``T`` column positions to erase from a uniform distribution subject to two
+constraints:
+
+* **intra-row** (Eq. 1): a new column must be more than ``δ`` away from every
+  column already erased in the same row — this prevents consecutive
+  information loss inside a row;
+* **inter-row**: a new column must be more than ``Δ`` away from the columns
+  erased in the *previous* row — this prevents vertically adjacent holes.
+
+Special cases noted in the paper fall out of the same definition: ``T = 1``
+with non-adjacent sampling reduces to a diagonal-style mask, and ``b = 1,
+T = n/2`` with strict alternation degrades to 2× uniform down-sampling
+(super-resolution style).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RowConditionalSampler"]
+
+
+class RowConditionalSampler:
+    """Samples per-row erase columns under intra-/inter-row distance constraints.
+
+    Parameters
+    ----------
+    grid_size:
+        Number of sub-patch columns (and rows) in the patch grid, ``n/b``.
+    erase_per_row:
+        ``T`` — how many columns to erase in each row.
+    intra_row_min_distance:
+        ``δ`` — minimum distance between erased columns in the same row
+        (must leave enough room: ``T · (δ+1) ≤ grid_size``).
+    inter_row_min_distance:
+        ``Δ`` — minimum distance from the previous row's erased columns.
+        Automatically relaxed when the constraint set becomes infeasible.
+    max_attempts:
+        Rejection-sampling budget per column before constraints are relaxed.
+    """
+
+    def __init__(self, grid_size, erase_per_row, intra_row_min_distance=1,
+                 inter_row_min_distance=0, max_attempts=64):
+        if erase_per_row >= grid_size:
+            raise ValueError("erase_per_row must be smaller than grid_size")
+        if erase_per_row > 0 and erase_per_row * (intra_row_min_distance + 1) > grid_size:
+            raise ValueError(
+                f"infeasible intra-row constraint: {erase_per_row} erasures with "
+                f"min distance {intra_row_min_distance} in a row of {grid_size}"
+            )
+        self.grid_size = grid_size
+        self.erase_per_row = erase_per_row
+        self.intra_row_min_distance = intra_row_min_distance
+        self.inter_row_min_distance = inter_row_min_distance
+        self.max_attempts = max_attempts
+
+    # ------------------------------------------------------------------ #
+    def _sample_row(self, rng, previous_columns):
+        """Sample the erased columns of one row."""
+        columns = []
+        for _ in range(self.erase_per_row):
+            column = self._sample_column(rng, columns, previous_columns)
+            columns.append(column)
+        return sorted(columns)
+
+    def _candidates(self, chosen, previous_columns, inter_distance):
+        """Columns that satisfy the constraints given already-chosen columns."""
+        candidates = []
+        for column in range(self.grid_size):
+            if any(abs(column - other) <= self.intra_row_min_distance for other in chosen):
+                continue
+            if any(abs(column - other) <= inter_distance for other in previous_columns):
+                continue
+            candidates.append(column)
+        return candidates
+
+    def _sample_column(self, rng, chosen, previous_columns):
+        """Rejection-sample one column, relaxing Δ then δ if infeasible."""
+        inter_distance = self.inter_row_min_distance
+        for _ in range(self.max_attempts):
+            column = int(rng.integers(0, self.grid_size))
+            if any(abs(column - other) <= self.intra_row_min_distance for other in chosen):
+                continue
+            if any(abs(column - other) <= inter_distance for other in previous_columns):
+                continue
+            return column
+        # Constraint relaxation: first drop the inter-row constraint, then the
+        # intra-row distance, finally fall back to any unused column.
+        candidates = self._candidates(chosen, previous_columns, inter_distance)
+        if not candidates:
+            candidates = self._candidates(chosen, [], -1)
+        if not candidates:
+            candidates = [c for c in range(self.grid_size) if c not in chosen]
+        return int(rng.choice(candidates))
+
+    # ------------------------------------------------------------------ #
+    def sample_mask(self, rng=None, seed=None):
+        """Generate one erase mask for a full patch grid.
+
+        Returns a ``(grid_size, grid_size)`` uint8 array where **1 = kept**
+        and **0 = erased** (so ``mask.sum()`` counts surviving sub-patches).
+        """
+        if rng is None:
+            rng = np.random.default_rng(seed)
+        mask = np.ones((self.grid_size, self.grid_size), dtype=np.uint8)
+        previous_columns = []
+        for row in range(self.grid_size):
+            columns = self._sample_row(rng, previous_columns)
+            mask[row, columns] = 0
+            previous_columns = columns
+        return mask
+
+    def sample_masks(self, count, rng=None, seed=None):
+        """Generate ``count`` independent masks (shape ``(count, g, g)``)."""
+        if rng is None:
+            rng = np.random.default_rng(seed)
+        return np.stack([self.sample_mask(rng=rng) for _ in range(count)])
+
+    # ------------------------------------------------------------------ #
+    @property
+    def erase_ratio(self):
+        """Fraction of sub-patches erased by this sampler."""
+        return self.erase_per_row / self.grid_size
+
+    def __repr__(self):
+        return (f"RowConditionalSampler(grid={self.grid_size}, T={self.erase_per_row}, "
+                f"delta={self.intra_row_min_distance}, Delta={self.inter_row_min_distance})")

@@ -1,0 +1,45 @@
+"""Dataset base class shared by the Kodak/CLIC/CIFAR stand-ins."""
+
+from __future__ import annotations
+
+__all__ = ["ImageDataset"]
+
+
+class ImageDataset:
+    """A lazily generated, seed-deterministic collection of images.
+
+    Sub-classes set :attr:`name`, :attr:`num_images` and implement
+    :meth:`_generate`.  Generated images are cached so repeated access (the
+    benchmark harness scores the same image under many codecs) is cheap.
+    """
+
+    name = "dataset"
+
+    def __init__(self, num_images, cache=True):
+        self.num_images = int(num_images)
+        self._cache = {} if cache else None
+
+    def __len__(self):
+        return self.num_images
+
+    def __getitem__(self, index):
+        if index < 0:
+            index += self.num_images
+        if not 0 <= index < self.num_images:
+            raise IndexError(f"index {index} out of range for {self.name} ({self.num_images} images)")
+        if self._cache is not None and index in self._cache:
+            return self._cache[index]
+        image = self._generate(index)
+        if self._cache is not None:
+            self._cache[index] = image
+        return image
+
+    def __iter__(self):
+        for index in range(self.num_images):
+            yield self[index]
+
+    def _generate(self, index):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __repr__(self):
+        return f"{self.__class__.__name__}(name={self.name!r}, num_images={self.num_images})"

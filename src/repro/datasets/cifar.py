@@ -1,0 +1,49 @@
+"""CIFAR-like pre-training dataset (synthetic stand-in).
+
+The paper pre-trains the Easz reconstruction transformer on CIFAR-10 32×32
+images so it learns generic local-image statistics.  The stand-in produces
+32×32 crops of procedurally generated natural images — exactly the content
+the reconstructor has to inpaint at test time, without ever seeing the
+evaluation images themselves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import ImageDataset
+from .synthetic import SyntheticImageGenerator
+
+__all__ = ["CifarLikeDataset"]
+
+
+class CifarLikeDataset(ImageDataset):
+    """32×32 natural-image crops used for offline pre-training."""
+
+    name = "cifar-like"
+
+    def __init__(self, num_images=2048, size=32, color=False, seed=9000,
+                 source_size=160, crops_per_source=64):
+        super().__init__(num_images)
+        self.size = size
+        self.color = color
+        self.seed = seed
+        self.crops_per_source = crops_per_source
+        self._generator = SyntheticImageGenerator(source_size, source_size, color=color,
+                                                  texture_strength=1.2, edge_density=1.0)
+        self._source_cache = {}
+
+    def _source(self, source_index):
+        if source_index not in self._source_cache:
+            self._source_cache[source_index] = self._generator.generate(self.seed + source_index)
+        return self._source_cache[source_index]
+
+    def _generate(self, index):
+        source_index = index // self.crops_per_source
+        source = self._source(source_index)
+        rng = np.random.default_rng(self.seed + 31 * index)
+        max_y = source.shape[0] - self.size
+        max_x = source.shape[1] - self.size
+        top = int(rng.integers(0, max_y + 1))
+        left = int(rng.integers(0, max_x + 1))
+        return source[top:top + self.size, left:left + self.size, ...]

@@ -1,0 +1,34 @@
+"""CLIC-like evaluation dataset (synthetic stand-in).
+
+The CLIC (Challenge on Learned Image Compression) professional validation set
+contains higher-resolution, lower-texture photographs than Kodak.  The
+stand-in mirrors that profile: larger images, smoother content (lower texture
+strength), more pronounced object structure.
+"""
+
+from __future__ import annotations
+
+from .base import ImageDataset
+from .synthetic import SyntheticImageGenerator
+
+__all__ = ["ClicDataset"]
+
+
+class ClicDataset(ImageDataset):
+    """CLIC-like RGB images (smoother, larger than Kodak-like)."""
+
+    name = "clic"
+
+    def __init__(self, num_images=16, height=160, width=256, color=True,
+                 full_resolution=False, seed=500):
+        super().__init__(num_images)
+        if full_resolution:
+            height, width = 1080, 1620
+        self.height = height
+        self.width = width
+        self.seed = seed
+        self._generator = SyntheticImageGenerator(height, width, color=color,
+                                                  texture_strength=0.6, edge_density=1.3)
+
+    def _generate(self, index):
+        return self._generator.generate(self.seed + index)

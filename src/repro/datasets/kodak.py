@@ -1,0 +1,35 @@
+"""Kodak-like evaluation dataset (synthetic stand-in).
+
+The Kodak Lossless True Color Image Suite has 24 photographs at 768×512.
+This stand-in generates 24 deterministic natural-looking RGB images with the
+same aspect ratio.  The default resolution is reduced (192×128) so the whole
+evaluation pipeline runs in CPU-minutes; pass ``full_resolution=True`` to get
+768×512 images when runtime is not a concern.
+"""
+
+from __future__ import annotations
+
+from .base import ImageDataset
+from .synthetic import SyntheticImageGenerator
+
+__all__ = ["KodakDataset"]
+
+
+class KodakDataset(ImageDataset):
+    """24 Kodak-like RGB images (3:2 aspect ratio)."""
+
+    name = "kodak"
+
+    def __init__(self, num_images=24, height=128, width=192, color=True,
+                 full_resolution=False, seed=100):
+        super().__init__(num_images)
+        if full_resolution:
+            height, width = 512, 768
+        self.height = height
+        self.width = width
+        self.seed = seed
+        self._generator = SyntheticImageGenerator(height, width, color=color,
+                                                  texture_strength=1.0, edge_density=1.0)
+
+    def _generate(self, index):
+        return self._generator.generate(self.seed + index)

@@ -1,0 +1,64 @@
+"""Batching utilities for training the Easz reconstruction network."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..image import ensure_gray
+
+__all__ = ["PatchBatcher", "extract_patches"]
+
+
+def extract_patches(image, patch_size, stride=None):
+    """Extract non-overlapping (or strided) square patches from an image.
+
+    Returns an array of shape ``(count, patch_size, patch_size[, channels])``.
+    """
+    image = np.asarray(image)
+    stride = stride or patch_size
+    height, width = image.shape[:2]
+    patches = []
+    for top in range(0, height - patch_size + 1, stride):
+        for left in range(0, width - patch_size + 1, stride):
+            patches.append(image[top:top + patch_size, left:left + patch_size, ...])
+    return np.stack(patches) if patches else np.zeros((0, patch_size, patch_size))
+
+
+class PatchBatcher:
+    """Yields batches of grayscale training patches from an image dataset.
+
+    The paper pre-trains on whole CIFAR images; here every dataset item is
+    converted to luma, optionally randomly cropped to ``patch_size``, and
+    grouped into ``(batch, patch_size, patch_size)`` arrays.
+    """
+
+    def __init__(self, dataset, patch_size=32, batch_size=32, seed=0):
+        self.dataset = dataset
+        self.patch_size = patch_size
+        self.batch_size = batch_size
+        self.seed = seed
+
+    def _patch_from(self, image, rng):
+        gray = ensure_gray(image)
+        height, width = gray.shape
+        if height == self.patch_size and width == self.patch_size:
+            return gray
+        if height < self.patch_size or width < self.patch_size:
+            raise ValueError(
+                f"dataset images ({height}x{width}) are smaller than patch_size {self.patch_size}"
+            )
+        top = int(rng.integers(0, height - self.patch_size + 1))
+        left = int(rng.integers(0, width - self.patch_size + 1))
+        return gray[top:top + self.patch_size, left:left + self.patch_size]
+
+    def batches(self, num_batches):
+        """Yield ``num_batches`` batches, cycling deterministically over the dataset."""
+        rng = np.random.default_rng(self.seed)
+        index = 0
+        for _ in range(num_batches):
+            batch = []
+            for _ in range(self.batch_size):
+                image = self.dataset[index % len(self.dataset)]
+                index += 1
+                batch.append(self._patch_from(image, rng))
+            yield np.stack(batch)

@@ -1,0 +1,124 @@
+"""Device profiles for the edge/server testbed simulation.
+
+The paper's efficiency results (Fig. 1, Fig. 6, Fig. 8d) were measured on a
+physical NVIDIA Jetson TX2 edge board and an i7-9700K + RTX 2080Ti server.
+Neither is available here, so devices are modelled by a small set of
+sustained-throughput and power parameters.  The numbers are calibrated so
+that the published motivating measurements are reproduced to first order
+(e.g. ≈18 s to encode a 512×768 image with Cheng-anchor on the TX2, ≈150 ms
+to transmit the compressed file over Wi-Fi).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceProfile", "JETSON_TX2", "RASPBERRY_PI4", "SERVER_2080TI", "SERVER_A100"]
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Sustained-performance and power model of one device.
+
+    Attributes
+    ----------
+    name:
+        Human-readable device name.
+    cpu_gmacs_per_s:
+        Effective CPU throughput (GMAC/s) for codec-style integer/DSP work.
+    gpu_gmacs_per_s:
+        Effective GPU throughput (GMAC/s) for neural-network inference;
+        ``0`` means no usable GPU.
+    storage_read_mb_per_s:
+        Sequential read bandwidth used when loading model weights.
+    model_init_s_per_100mb:
+        Framework graph-build/initialisation time per 100 MB of weights
+        (dominates "load latency" for large context models on the TX2).
+    cpu_idle_w, cpu_active_w:
+        CPU package power at idle and under sustained load.
+    gpu_idle_w, gpu_active_w:
+        GPU power at idle and under sustained inference load.
+    base_memory_gb:
+        Resident memory of the runtime before any model is loaded.
+    nn_runtime_overhead_gb:
+        Additional resident memory of the NN framework + CUDA context when a
+        neural model is in use.
+    """
+
+    name: str
+    cpu_gmacs_per_s: float
+    gpu_gmacs_per_s: float
+    storage_read_mb_per_s: float
+    model_init_s_per_100mb: float
+    cpu_idle_w: float
+    cpu_active_w: float
+    gpu_idle_w: float
+    gpu_active_w: float
+    base_memory_gb: float
+    nn_runtime_overhead_gb: float
+
+    @property
+    def has_gpu(self):
+        """Whether the device has a usable GPU."""
+        return self.gpu_gmacs_per_s > 0
+
+
+#: NVIDIA Jetson TX2 (edge device used throughout the paper).
+JETSON_TX2 = DeviceProfile(
+    name="jetson-tx2",
+    cpu_gmacs_per_s=4.0,
+    gpu_gmacs_per_s=13.0,
+    storage_read_mb_per_s=90.0,
+    model_init_s_per_100mb=4.5,
+    cpu_idle_w=0.25,
+    cpu_active_w=1.0,
+    gpu_idle_w=0.05,
+    gpu_active_w=1.9,
+    base_memory_gb=0.95,
+    nn_runtime_overhead_gb=0.70,
+)
+
+#: Raspberry Pi 4 (the "less potent than TX2" endpoint mentioned in Sec. II).
+RASPBERRY_PI4 = DeviceProfile(
+    name="raspberry-pi4",
+    cpu_gmacs_per_s=1.5,
+    gpu_gmacs_per_s=0.0,
+    storage_read_mb_per_s=45.0,
+    model_init_s_per_100mb=9.0,
+    cpu_idle_w=0.6,
+    cpu_active_w=2.2,
+    gpu_idle_w=0.0,
+    gpu_active_w=0.0,
+    base_memory_gb=0.45,
+    nn_runtime_overhead_gb=0.70,
+)
+
+#: Desktop server with an RTX 2080Ti (the paper's receiver).
+SERVER_2080TI = DeviceProfile(
+    name="server-2080ti",
+    cpu_gmacs_per_s=60.0,
+    gpu_gmacs_per_s=900.0,
+    storage_read_mb_per_s=1500.0,
+    model_init_s_per_100mb=0.4,
+    cpu_idle_w=10.0,
+    cpu_active_w=65.0,
+    gpu_idle_w=15.0,
+    gpu_active_w=220.0,
+    base_memory_gb=1.2,
+    nn_runtime_overhead_gb=1.2,
+)
+
+#: Datacenter A100 (the upgrade path discussed in Sec. IV-B).
+SERVER_A100 = DeviceProfile(
+    name="server-a100",
+    cpu_gmacs_per_s=120.0,
+    gpu_gmacs_per_s=6000.0,
+    storage_read_mb_per_s=3000.0,
+    model_init_s_per_100mb=0.2,
+    cpu_idle_w=20.0,
+    cpu_active_w=90.0,
+    gpu_idle_w=40.0,
+    gpu_active_w=300.0,
+    base_memory_gb=1.5,
+    nn_runtime_overhead_gb=1.5,
+)

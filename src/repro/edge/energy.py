@@ -1,0 +1,125 @@
+"""Energy and battery-lifetime models for edge deployments.
+
+The paper reports instantaneous encode power (Fig. 6b); what a deployment
+planner actually cares about is energy per image (power × latency) and how
+long a battery-powered camera node lasts.  This module converts the testbed's
+power/latency estimates into per-image energy and node lifetime, which the
+wildlife-monitoring and fleet examples use to show the practical consequence
+of Easz's edge-compute-free design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["EnergyBreakdown", "EnergyModel", "BatteryModel"]
+
+
+@dataclass
+class EnergyBreakdown:
+    """Per-image energy split by pipeline stage (joules)."""
+
+    compute_j: float = 0.0
+    transmit_j: float = 0.0
+    idle_j: float = 0.0
+    details: dict = field(default_factory=dict)
+
+    @property
+    def total_j(self):
+        """Total energy spent on one image."""
+        return self.compute_j + self.transmit_j + self.idle_j
+
+    @property
+    def total_mwh(self):
+        """Total energy in milliwatt-hours (battery-datasheet units)."""
+        return self.total_j / 3.6
+
+
+class EnergyModel:
+    """Converts a :class:`repro.edge.TestbedReport` into edge-side energy.
+
+    Parameters
+    ----------
+    radio_transmit_w:
+        Radio power while actively transmitting (Wi-Fi client ≈ 1.3 W).
+    radio_idle_w:
+        Radio power while associated but idle.
+    """
+
+    def __init__(self, radio_transmit_w=1.3, radio_idle_w=0.25):
+        self.radio_transmit_w = float(radio_transmit_w)
+        self.radio_idle_w = float(radio_idle_w)
+
+    def per_image(self, report, include_load=False):
+        """Edge-side energy of one image given a testbed report.
+
+        Compute energy covers erase-and-squeeze plus base-codec encode (and
+        the one-time model load when ``include_load`` is set); transmit
+        energy is the radio's active power over the transmission time.
+        """
+        timing = report.timing
+        compute_ms = timing.erase_squeeze_ms + timing.encode_ms
+        if include_load:
+            compute_ms += timing.load_ms
+        compute_j = report.edge_total_power_w * compute_ms * 1e-3
+        transmit_j = self.radio_transmit_w * timing.transmit_ms * 1e-3
+        idle_j = self.radio_idle_w * compute_ms * 1e-3
+        return EnergyBreakdown(
+            compute_j=compute_j,
+            transmit_j=transmit_j,
+            idle_j=idle_j,
+            details={
+                "codec": report.codec_name,
+                "compute_ms": compute_ms,
+                "transmit_ms": timing.transmit_ms,
+                "edge_power_w": report.edge_total_power_w,
+            },
+        )
+
+
+@dataclass
+class BatteryModel:
+    """A battery-powered camera node's energy budget.
+
+    Attributes
+    ----------
+    capacity_wh:
+        Usable battery capacity in watt-hours (e.g. 2 × 18650 ≈ 18 Wh).
+    standby_w:
+        Baseline draw while the node sleeps between captures.
+    usable_fraction:
+        Fraction of nominal capacity that is actually usable (discharge
+        cutoff, converter losses).
+    """
+
+    capacity_wh: float = 18.0
+    standby_w: float = 0.08
+    usable_fraction: float = 0.85
+
+    @property
+    def usable_j(self):
+        """Usable energy in joules."""
+        return self.capacity_wh * 3600.0 * self.usable_fraction
+
+    def images_per_charge(self, energy_per_image):
+        """How many images one charge supports, ignoring standby draw."""
+        per_image_j = energy_per_image.total_j if isinstance(energy_per_image, EnergyBreakdown) \
+            else float(energy_per_image)
+        if per_image_j <= 0:
+            raise ValueError("energy per image must be positive")
+        return int(self.usable_j // per_image_j)
+
+    def lifetime_hours(self, energy_per_image, images_per_hour):
+        """Node lifetime in hours at a given capture rate, including standby."""
+        per_image_j = energy_per_image.total_j if isinstance(energy_per_image, EnergyBreakdown) \
+            else float(energy_per_image)
+        if images_per_hour < 0:
+            raise ValueError("images_per_hour must be non-negative")
+        hourly_j = per_image_j * images_per_hour + self.standby_w * 3600.0
+        if hourly_j <= 0:
+            return float("inf")
+        return self.usable_j / hourly_j
+
+    def lifetime_days(self, energy_per_image, images_per_hour):
+        """Node lifetime in days at a given capture rate."""
+        return self.lifetime_hours(energy_per_image, images_per_hour) / 24.0

@@ -1,0 +1,46 @@
+"""Latency model: turns a :class:`ComplexityProfile` into milliseconds on a device."""
+
+from __future__ import annotations
+
+__all__ = ["LatencyModel"]
+
+
+class LatencyModel:
+    """Maps computational profiles onto wall-clock latency for a device.
+
+    The model is deliberately simple: compute time is MACs divided by the
+    device's sustained throughput for the execution engine the stage uses
+    (CPU or GPU), plus a small fixed dispatch overhead; model-load time is a
+    storage-read term plus a framework-initialisation term proportional to
+    the model size.  That is enough to reproduce the orders-of-magnitude
+    separation in the paper's Fig. 1 / Fig. 6a.
+    """
+
+    def __init__(self, dispatch_overhead_ms=2.0):
+        self.dispatch_overhead_ms = dispatch_overhead_ms
+
+    def compute_latency_ms(self, profile, device):
+        """Latency of running ``profile`` (a :class:`ComplexityProfile`) on ``device``."""
+        if profile.uses_gpu and device.has_gpu:
+            throughput = device.gpu_gmacs_per_s
+        else:
+            throughput = device.cpu_gmacs_per_s
+        seconds = profile.macs / (throughput * 1e9)
+        return self.dispatch_overhead_ms + seconds * 1e3
+
+    def load_latency_ms(self, model_bytes, device):
+        """Latency of loading (and initialising) ``model_bytes`` of weights."""
+        if model_bytes <= 0:
+            return 0.0
+        read_s = model_bytes / (device.storage_read_mb_per_s * 2 ** 20)
+        init_s = device.model_init_s_per_100mb * (model_bytes / (100 * 2 ** 20))
+        return (read_s + init_s) * 1e3
+
+    def switch_latency_ms(self, model_bytes, device):
+        """Latency of switching compression level when it requires a model swap.
+
+        For conventional NN codecs every quality level is a separate set of
+        weights, so switching costs a full reload; Easz switches by changing
+        the sampler parameter only, which is free.
+        """
+        return self.load_latency_ms(model_bytes, device)

@@ -1,0 +1,27 @@
+"""Memory-footprint model for encode-side resource accounting (paper Fig. 6c)."""
+
+from __future__ import annotations
+
+__all__ = ["MemoryModel"]
+
+
+class MemoryModel:
+    """Estimates resident memory of running one codec stage on a device.
+
+    footprint = runtime base
+              + NN-framework / accelerator-context overhead (neural stages only)
+              + model weights (with an expansion factor for optimiser-free
+                inference buffers)
+              + working activations / image buffers.
+    """
+
+    def __init__(self, weight_expansion=2.0):
+        self.weight_expansion = weight_expansion
+
+    def footprint_gb(self, profile, device):
+        """Resident memory in GiB for ``profile`` on ``device``."""
+        total_bytes = profile.model_bytes * self.weight_expansion + profile.working_memory_bytes
+        footprint = device.base_memory_gb + total_bytes / 2 ** 30
+        if profile.uses_gpu or profile.model_bytes > 0:
+            footprint += device.nn_runtime_overhead_gb
+        return float(footprint)

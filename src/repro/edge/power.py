@@ -1,0 +1,50 @@
+"""Power model for encode-side resource accounting (paper Fig. 6b)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PowerEstimate", "PowerModel"]
+
+
+@dataclass
+class PowerEstimate:
+    """Average power draw of one stage, split by engine."""
+
+    cpu_w: float
+    gpu_w: float
+
+    @property
+    def total_w(self):
+        """Total average power in watts."""
+        return self.cpu_w + self.gpu_w
+
+
+class PowerModel:
+    """Maps a :class:`ComplexityProfile` onto average CPU/GPU power.
+
+    CPU power scales between idle and active with a utilisation estimate
+    (codec work that fits well below the device's throughput draws less than
+    the fully-active figure); GPU power is active whenever the stage runs on
+    the GPU, plus the extra CPU cost of feeding the accelerator.
+    """
+
+    def __init__(self, cpu_feeding_fraction=0.45):
+        self.cpu_feeding_fraction = cpu_feeding_fraction
+
+    def estimate(self, profile, device, reference_macs=5e9):
+        """Average power of running ``profile`` on ``device``.
+
+        ``reference_macs`` sets the work level considered "fully active" for
+        CPU-only stages; light stages (e.g. erase-and-squeeze) therefore draw
+        close to idle power, as the Tegrastats measurements in the paper show.
+        """
+        if profile.uses_gpu and device.has_gpu:
+            cpu_w = device.cpu_idle_w + self.cpu_feeding_fraction * (
+                device.cpu_active_w - device.cpu_idle_w
+            )
+            gpu_w = device.gpu_active_w
+            return PowerEstimate(cpu_w=cpu_w, gpu_w=gpu_w)
+        utilisation = min(1.0, profile.macs / reference_macs)
+        cpu_w = device.cpu_idle_w + utilisation * (device.cpu_active_w - device.cpu_idle_w)
+        return PowerEstimate(cpu_w=cpu_w, gpu_w=device.gpu_idle_w if device.has_gpu else 0.0)

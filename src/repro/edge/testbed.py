@@ -1,0 +1,163 @@
+"""Edge → server testbed simulation (the paper's physical TX2 + 2080Ti setup).
+
+:class:`EdgeServerTestbed` composes the device profiles, the latency / power /
+memory models and the wireless channel to produce the end-to-end breakdown
+the paper reports in Fig. 6a (erase-and-squeeze / compression / transmit /
+decompression / reconstruction) as well as the encode-side power and memory
+numbers of Fig. 6b-c, the motivation measurements of Fig. 1 and the
+latency-vs-bitrate curve of Fig. 8d.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..codecs.base import ComplexityProfile
+from ..core.pipeline import EaszCodec
+from ..image import image_num_pixels
+from .device import JETSON_TX2, SERVER_2080TI
+from .latency import LatencyModel
+from .memory import MemoryModel
+from .network import WIFI_TCP
+from .power import PowerModel
+
+__all__ = ["StageTiming", "TestbedReport", "EdgeServerTestbed"]
+
+
+@dataclass
+class StageTiming:
+    """Latency breakdown of one image traversing the pipeline (milliseconds)."""
+
+    load_ms: float = 0.0
+    erase_squeeze_ms: float = 0.0
+    encode_ms: float = 0.0
+    transmit_ms: float = 0.0
+    decode_ms: float = 0.0
+    reconstruction_ms: float = 0.0
+
+    @property
+    def total_ms(self):
+        """End-to-end latency excluding one-time model load."""
+        return (self.erase_squeeze_ms + self.encode_ms + self.transmit_ms
+                + self.decode_ms + self.reconstruction_ms)
+
+    @property
+    def total_with_load_ms(self):
+        """End-to-end latency including model load (cold start)."""
+        return self.total_ms + self.load_ms
+
+    def as_dict(self):
+        """Plain-dict view used by the benchmark harness when printing rows."""
+        return {
+            "load_ms": self.load_ms,
+            "erase_squeeze_ms": self.erase_squeeze_ms,
+            "encode_ms": self.encode_ms,
+            "transmit_ms": self.transmit_ms,
+            "decode_ms": self.decode_ms,
+            "reconstruction_ms": self.reconstruction_ms,
+            "total_ms": self.total_ms,
+        }
+
+
+@dataclass
+class TestbedReport:
+    """Full efficiency report for one codec / image combination."""
+
+    codec_name: str
+    image_shape: tuple
+    payload_bytes: int
+    timing: StageTiming
+    edge_cpu_power_w: float
+    edge_gpu_power_w: float
+    edge_memory_gb: float
+    bpp: float
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def edge_total_power_w(self):
+        """Total encode-side power draw."""
+        return self.edge_cpu_power_w + self.edge_gpu_power_w
+
+
+class EdgeServerTestbed:
+    """Simulated edge-device → Wi-Fi → server pipeline."""
+
+    def __init__(self, edge_device=JETSON_TX2, server_device=SERVER_2080TI,
+                 channel=WIFI_TCP, latency_model=None, power_model=None, memory_model=None):
+        self.edge_device = edge_device
+        self.server_device = server_device
+        self.channel = channel
+        self.latency = latency_model or LatencyModel()
+        self.power = power_model or PowerModel()
+        self.memory = memory_model or MemoryModel()
+
+    # ------------------------------------------------------------------ #
+    def _easz_stage_profiles(self, codec, shape):
+        """Split an Easz codec into its edge and server stage profiles."""
+        squeeze, base_encode = codec.encoder.complexity(shape)
+        base_decode, reconstruction = codec.decoder.complexity(shape)
+        return squeeze, base_encode, base_decode, reconstruction
+
+    def run(self, codec, image=None, shape=None, payload_bytes=None, include_load=True):
+        """Simulate one image through ``codec`` on this testbed.
+
+        Either a real ``image`` (compressed for a true payload size) or a
+        ``shape`` plus an expected ``payload_bytes`` must be provided.  When
+        an image is given the actual compressed size from running the codec
+        is used for the transmission term, so rate-dependent behaviour
+        (Fig. 8d) is captured.
+        """
+        if image is not None:
+            compressed = codec.compress(image)
+            payload_bytes = compressed.num_bytes
+            shape = image.shape
+        if shape is None or payload_bytes is None:
+            raise ValueError("provide either an image, or both shape and payload_bytes")
+
+        timing = StageTiming()
+        if isinstance(codec, EaszCodec):
+            squeeze, base_encode, base_decode, reconstruction = self._easz_stage_profiles(codec, shape)
+            timing.erase_squeeze_ms = self.latency.compute_latency_ms(squeeze, self.edge_device)
+            timing.encode_ms = self.latency.compute_latency_ms(base_encode, self.edge_device)
+            timing.decode_ms = self.latency.compute_latency_ms(base_decode, self.server_device)
+            timing.reconstruction_ms = self.latency.compute_latency_ms(reconstruction, self.server_device)
+            edge_profile = ComplexityProfile(
+                macs=squeeze.macs + base_encode.macs,
+                model_bytes=base_encode.model_bytes,
+                working_memory_bytes=squeeze.working_memory_bytes + base_encode.working_memory_bytes,
+                uses_gpu=base_encode.uses_gpu,
+            )
+        else:
+            encode_profile = codec.encode_complexity(shape)
+            decode_profile = codec.decode_complexity(shape)
+            timing.encode_ms = self.latency.compute_latency_ms(encode_profile, self.edge_device)
+            timing.decode_ms = self.latency.compute_latency_ms(decode_profile, self.server_device)
+            edge_profile = encode_profile
+        if include_load:
+            timing.load_ms = self.latency.load_latency_ms(edge_profile.model_bytes, self.edge_device)
+        timing.transmit_ms = self.channel.transmit_latency_ms(payload_bytes)
+
+        power = self.power.estimate(edge_profile, self.edge_device)
+        memory_gb = self.memory.footprint_gb(edge_profile, self.edge_device)
+        return TestbedReport(
+            codec_name=codec.name,
+            image_shape=tuple(shape),
+            payload_bytes=int(payload_bytes),
+            timing=timing,
+            edge_cpu_power_w=power.cpu_w,
+            edge_gpu_power_w=power.gpu_w,
+            edge_memory_gb=memory_gb,
+            bpp=8.0 * payload_bytes / image_num_pixels(shape),
+        )
+
+    # ------------------------------------------------------------------ #
+    def compression_level_switch_ms(self, codec, shape=None):
+        """Cost of switching to a different compression level (paper Fig. 1).
+
+        Conventional NN codecs must load a different set of weights; Easz
+        (and the classical codecs) only change a scalar parameter.
+        """
+        if isinstance(codec, EaszCodec):
+            return 0.0
+        profile = codec.encode_complexity(shape or (512, 768, 3))
+        return self.latency.switch_latency_ms(profile.model_bytes, self.edge_device)

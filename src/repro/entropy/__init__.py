@@ -1,0 +1,38 @@
+"""``repro.entropy`` — entropy-coding substrate shared by the codecs.
+
+Contains bit-level I/O, canonical Huffman coding, run-length helpers and an
+adaptive arithmetic (range) coder.
+"""
+
+from .arithmetic import (
+    AdaptiveModel,
+    ArithmeticDecoder,
+    ArithmeticEncoder,
+    decode_symbols,
+    encode_symbols,
+)
+from .bitio import BitReader, BitWriter
+from .huffman import HuffmanCode, huffman_decode, huffman_encode
+from .rle import (
+    decode_binary_mask,
+    encode_binary_mask,
+    run_length_decode,
+    run_length_encode,
+)
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "HuffmanCode",
+    "huffman_encode",
+    "huffman_decode",
+    "run_length_encode",
+    "run_length_decode",
+    "encode_binary_mask",
+    "decode_binary_mask",
+    "AdaptiveModel",
+    "ArithmeticEncoder",
+    "ArithmeticDecoder",
+    "encode_symbols",
+    "decode_symbols",
+]

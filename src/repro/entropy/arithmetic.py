@@ -1,0 +1,160 @@
+"""Adaptive binary / multi-symbol arithmetic (range) coding.
+
+Used by the BPG-proxy codec (:mod:`repro.codecs.bpg`) and by the learned
+codec baselines for entropy-coding quantised latents.  The implementation is
+a classic 32-bit integer range coder with carry-less renormalisation
+(Witten–Neal–Cleary style), plus an adaptive frequency model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bitio import BitReader, BitWriter
+
+__all__ = ["AdaptiveModel", "ArithmeticEncoder", "ArithmeticDecoder",
+           "encode_symbols", "decode_symbols"]
+
+_PRECISION = 32
+_MAX = (1 << _PRECISION) - 1
+_QUARTER = 1 << (_PRECISION - 2)
+_HALF = 2 * _QUARTER
+_THREE_QUARTERS = 3 * _QUARTER
+_MAX_TOTAL = 1 << 16
+
+
+class AdaptiveModel:
+    """Adaptive frequency model over a fixed alphabet ``{0..num_symbols-1}``.
+
+    Frequencies start at one (Laplace smoothing) and are incremented after
+    each coded symbol; when the total exceeds ``_MAX_TOTAL`` all counts are
+    halved, which keeps the model responsive to local statistics.
+    """
+
+    def __init__(self, num_symbols):
+        if num_symbols < 1:
+            raise ValueError("num_symbols must be >= 1")
+        self.num_symbols = num_symbols
+        self.counts = np.ones(num_symbols, dtype=np.int64)
+        self._rebuild()
+
+    def _rebuild(self):
+        self.cumulative = np.concatenate(([0], np.cumsum(self.counts)))
+        self.total = int(self.cumulative[-1])
+
+    def interval(self, symbol):
+        """Return ``(low_count, high_count, total)`` for ``symbol``."""
+        return int(self.cumulative[symbol]), int(self.cumulative[symbol + 1]), self.total
+
+    def symbol_from_count(self, scaled):
+        """Find the symbol whose cumulative interval contains ``scaled``."""
+        return int(np.searchsorted(self.cumulative, scaled, side="right") - 1)
+
+    def update(self, symbol):
+        """Increment the count of ``symbol`` (and rescale when saturated)."""
+        self.counts[symbol] += 32
+        if self.counts.sum() > _MAX_TOTAL:
+            self.counts = np.maximum(1, self.counts // 2)
+        self._rebuild()
+
+
+class ArithmeticEncoder:
+    """Streaming arithmetic encoder writing to an internal :class:`BitWriter`."""
+
+    def __init__(self):
+        self._writer = BitWriter()
+        self._low = 0
+        self._high = _MAX
+        self._pending = 0
+
+    def _emit(self, bit):
+        self._writer.write_bit(bit)
+        while self._pending:
+            self._writer.write_bit(1 - bit)
+            self._pending -= 1
+
+    def encode(self, model, symbol):
+        """Encode ``symbol`` under ``model`` and update the model."""
+        low_count, high_count, total = model.interval(symbol)
+        span = self._high - self._low + 1
+        self._high = self._low + span * high_count // total - 1
+        self._low = self._low + span * low_count // total
+        while True:
+            if self._high < _HALF:
+                self._emit(0)
+            elif self._low >= _HALF:
+                self._emit(1)
+                self._low -= _HALF
+                self._high -= _HALF
+            elif self._low >= _QUARTER and self._high < _THREE_QUARTERS:
+                self._pending += 1
+                self._low -= _QUARTER
+                self._high -= _QUARTER
+            else:
+                break
+            self._low *= 2
+            self._high = self._high * 2 + 1
+        model.update(symbol)
+
+    def finish(self):
+        """Flush the coder state and return the encoded bytes."""
+        self._pending += 1
+        if self._low < _QUARTER:
+            self._emit(0)
+        else:
+            self._emit(1)
+        return self._writer.getvalue()
+
+
+class ArithmeticDecoder:
+    """Streaming arithmetic decoder mirroring :class:`ArithmeticEncoder`."""
+
+    def __init__(self, payload):
+        self._reader = BitReader(payload)
+        self._low = 0
+        self._high = _MAX
+        self._value = self._reader.read_bits(_PRECISION)
+
+    def decode(self, model):
+        """Decode the next symbol under ``model`` and update the model."""
+        span = self._high - self._low + 1
+        total = model.total
+        scaled = ((self._value - self._low + 1) * total - 1) // span
+        symbol = model.symbol_from_count(scaled)
+        low_count, high_count, _ = model.interval(symbol)
+        self._high = self._low + span * high_count // total - 1
+        self._low = self._low + span * low_count // total
+        while True:
+            if self._high < _HALF:
+                pass
+            elif self._low >= _HALF:
+                self._low -= _HALF
+                self._high -= _HALF
+                self._value -= _HALF
+            elif self._low >= _QUARTER and self._high < _THREE_QUARTERS:
+                self._low -= _QUARTER
+                self._high -= _QUARTER
+                self._value -= _QUARTER
+            else:
+                break
+            self._low *= 2
+            self._high = self._high * 2 + 1
+            self._value = self._value * 2 + self._reader.read_bit()
+        model.update(symbol)
+        return symbol
+
+
+def encode_symbols(symbols, num_symbols):
+    """Encode an integer symbol sequence with a fresh adaptive model."""
+    encoder = ArithmeticEncoder()
+    model = AdaptiveModel(num_symbols)
+    for symbol in symbols:
+        encoder.encode(model, int(symbol))
+    return encoder.finish()
+
+
+def decode_symbols(payload, count, num_symbols):
+    """Decode ``count`` symbols encoded with :func:`encode_symbols`."""
+    decoder = ArithmeticDecoder(payload)
+    model = AdaptiveModel(num_symbols)
+    return [decoder.decode(model) for _ in range(count)]

@@ -1,0 +1,94 @@
+"""Bit-level I/O used by the Huffman and arithmetic coders.
+
+The JPEG and BPG-proxy codecs serialise their symbol streams through
+:class:`BitWriter` / :class:`BitReader`, which pack bits MSB-first into a
+``bytes`` object.
+"""
+
+from __future__ import annotations
+
+__all__ = ["BitWriter", "BitReader"]
+
+
+class BitWriter:
+    """Accumulates individual bits and bit-fields into a byte string."""
+
+    def __init__(self):
+        self._bytes = bytearray()
+        self._current = 0
+        self._count = 0
+
+    def write_bit(self, bit):
+        """Append a single bit (0 or 1)."""
+        self._current = (self._current << 1) | (1 if bit else 0)
+        self._count += 1
+        if self._count == 8:
+            self._bytes.append(self._current)
+            self._current = 0
+            self._count = 0
+
+    def write_bits(self, value, num_bits):
+        """Append ``num_bits`` bits of ``value``, most significant bit first."""
+        if num_bits < 0:
+            raise ValueError("num_bits must be non-negative")
+        for shift in range(num_bits - 1, -1, -1):
+            self.write_bit((value >> shift) & 1)
+
+    def write_unary(self, value):
+        """Append ``value`` in unary coding (``value`` ones then a zero)."""
+        for _ in range(value):
+            self.write_bit(1)
+        self.write_bit(0)
+
+    @property
+    def bit_length(self):
+        """Number of bits written so far (before padding)."""
+        return len(self._bytes) * 8 + self._count
+
+    def getvalue(self):
+        """Return the bytes written so far, zero-padding the final byte."""
+        data = bytearray(self._bytes)
+        if self._count:
+            data.append(self._current << (8 - self._count))
+        return bytes(data)
+
+
+class BitReader:
+    """Reads bits MSB-first from a byte string produced by :class:`BitWriter`."""
+
+    def __init__(self, data):
+        self._data = bytes(data)
+        self._pos = 0  # bit position
+
+    def read_bit(self):
+        """Read one bit; returns 0 past the end of the buffer."""
+        byte_index = self._pos >> 3
+        if byte_index >= len(self._data):
+            return 0
+        bit = (self._data[byte_index] >> (7 - (self._pos & 7))) & 1
+        self._pos += 1
+        return bit
+
+    def read_bits(self, num_bits):
+        """Read ``num_bits`` bits as an unsigned integer (MSB first)."""
+        value = 0
+        for _ in range(num_bits):
+            value = (value << 1) | self.read_bit()
+        return value
+
+    def read_unary(self):
+        """Read a unary-coded non-negative integer."""
+        count = 0
+        while self.read_bit():
+            count += 1
+        return count
+
+    @property
+    def bits_remaining(self):
+        """Number of unread bits left in the buffer."""
+        return max(0, len(self._data) * 8 - self._pos)
+
+    @property
+    def position(self):
+        """Current bit position from the start of the buffer."""
+        return self._pos

@@ -1,0 +1,165 @@
+"""Canonical Huffman coding.
+
+Two use cases in the reproduction:
+
+* the JPEG codec encodes (run, size) symbols and DC size categories with
+  either the standard JPEG tables (:mod:`repro.codecs.jpeg_tables`) or tables
+  built from symbol statistics with :class:`HuffmanCode`;
+* generic byte-stream entropy coding for the lossless PNG-like baseline.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter
+
+from .bitio import BitReader, BitWriter
+
+__all__ = ["HuffmanCode", "huffman_encode", "huffman_decode"]
+
+
+class _Node:
+    __slots__ = ("weight", "order", "symbol", "left", "right")
+
+    def __init__(self, weight, order, symbol=None, left=None, right=None):
+        self.weight = weight
+        self.order = order
+        self.symbol = symbol
+        self.left = left
+        self.right = right
+
+    def __lt__(self, other):
+        return (self.weight, self.order) < (other.weight, other.order)
+
+
+class HuffmanCode:
+    """A prefix code built from symbol frequencies (canonical form).
+
+    Parameters
+    ----------
+    frequencies:
+        Mapping ``symbol -> count``.  Symbols may be any hashable values;
+        they are sorted by code length then by symbol for canonicalisation.
+    max_code_length:
+        Optional cap on code lengths (lengths are flattened with the
+        package-merge-free heuristic of repeatedly shortening the deepest
+        leaves); JPEG requires codes of at most 16 bits.
+    """
+
+    def __init__(self, frequencies, max_code_length=None):
+        if not frequencies:
+            raise ValueError("cannot build a Huffman code from empty frequencies")
+        self.lengths = self._build_lengths(dict(frequencies))
+        if max_code_length is not None:
+            self._limit_lengths(max_code_length)
+        self.encode_table = self._canonical_codes(self.lengths)
+        self.decode_table = {(length, code): symbol
+                             for symbol, (code, length) in self.encode_table.items()}
+
+    # -- construction --------------------------------------------------- #
+    @staticmethod
+    def _build_lengths(frequencies):
+        if len(frequencies) == 1:
+            symbol = next(iter(frequencies))
+            return {symbol: 1}
+        heap = []
+        for order, (symbol, weight) in enumerate(sorted(frequencies.items(), key=lambda kv: repr(kv[0]))):
+            heapq.heappush(heap, _Node(weight, order, symbol=symbol))
+        order = len(frequencies)
+        while len(heap) > 1:
+            a = heapq.heappop(heap)
+            b = heapq.heappop(heap)
+            heapq.heappush(heap, _Node(a.weight + b.weight, order, left=a, right=b))
+            order += 1
+        lengths = {}
+        stack = [(heap[0], 0)]
+        while stack:
+            node, depth = stack.pop()
+            if node.symbol is not None:
+                lengths[node.symbol] = max(1, depth)
+            else:
+                stack.append((node.left, depth + 1))
+                stack.append((node.right, depth + 1))
+        return lengths
+
+    def _limit_lengths(self, max_length):
+        # Kraft-inequality repair: shorten the histogram until it fits.
+        counts = Counter(self.lengths.values())
+        overflow = sorted((l for l in counts if l > max_length), reverse=True)
+        if not overflow:
+            return
+        symbols_by_length = sorted(self.lengths.items(), key=lambda kv: (kv[1], repr(kv[0])))
+        lengths = [min(l, max_length) for _, l in symbols_by_length]
+        # Repair the Kraft sum by extending the shortest codes if necessary.
+        def kraft(ls):
+            return sum(2.0 ** -l for l in ls)
+        idx = len(lengths) - 1
+        while kraft(lengths) > 1.0 and idx >= 0:
+            if lengths[idx] < max_length:
+                lengths[idx] += 1
+            else:
+                idx -= 1
+        self.lengths = {sym: l for (sym, _), l in zip(symbols_by_length, lengths)}
+
+    @staticmethod
+    def _canonical_codes(lengths):
+        ordered = sorted(lengths.items(), key=lambda kv: (kv[1], repr(kv[0])))
+        codes = {}
+        code = 0
+        previous_length = ordered[0][1] if ordered else 0
+        for symbol, length in ordered:
+            code <<= (length - previous_length)
+            codes[symbol] = (code, length)
+            code += 1
+            previous_length = length
+        return codes
+
+    # -- coding ---------------------------------------------------------- #
+    def encode_symbol(self, writer, symbol):
+        """Write one symbol's code to a :class:`BitWriter`."""
+        code, length = self.encode_table[symbol]
+        writer.write_bits(code, length)
+
+    def decode_symbol(self, reader):
+        """Read one symbol from a :class:`BitReader`."""
+        code = 0
+        length = 0
+        while True:
+            code = (code << 1) | reader.read_bit()
+            length += 1
+            if (length, code) in self.decode_table:
+                return self.decode_table[(length, code)]
+            if length > 32:
+                raise ValueError("invalid Huffman stream (no symbol within 32 bits)")
+
+    def expected_length(self, frequencies):
+        """Average code length in bits for the supplied frequency table."""
+        total = sum(frequencies.values())
+        if total == 0:
+            return 0.0
+        return sum(self.lengths[s] * c for s, c in frequencies.items() if s in self.lengths) / total
+
+
+def huffman_encode(symbols):
+    """Encode a sequence of hashable symbols.
+
+    Returns ``(payload_bytes, code, count)``; the code and count are needed
+    for decoding (the library does not serialise the table — callers that
+    need a self-contained bitstream, e.g. the JPEG codec, use fixed tables).
+    """
+    symbols = list(symbols)
+    if not symbols:
+        return b"", None, 0
+    code = HuffmanCode(Counter(symbols))
+    writer = BitWriter()
+    for symbol in symbols:
+        code.encode_symbol(writer, symbol)
+    return writer.getvalue(), code, len(symbols)
+
+
+def huffman_decode(payload, code, count):
+    """Decode ``count`` symbols from ``payload`` using ``code``."""
+    if count == 0:
+        return []
+    reader = BitReader(payload)
+    return [code.decode_symbol(reader) for _ in range(count)]

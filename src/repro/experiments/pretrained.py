@@ -1,0 +1,79 @@
+"""Train-once-and-cache helper for the Easz reconstruction model.
+
+Several benchmarks and examples need a reasonably trained reconstructor.
+Training it from scratch in every process would dominate runtime, so this
+module pre-trains a model for a given configuration once and caches the
+checkpoint on disk (keyed by the configuration and step count).  Subsequent
+calls load the cached weights in milliseconds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+
+from ..core.config import EaszConfig
+from ..core.reconstruction import EaszReconstructor
+from ..core.training import EaszTrainer
+from ..datasets.cifar import CifarLikeDataset
+from ..nn.serialization import load_checkpoint, save_checkpoint
+
+__all__ = ["default_benchmark_config", "pretrained_model", "cache_directory"]
+
+
+def cache_directory():
+    """Directory used for cached checkpoints (override with REPRO_CACHE_DIR)."""
+    directory = os.environ.get("REPRO_CACHE_DIR")
+    if not directory:
+        directory = os.path.join(os.path.expanduser("~"), ".cache", "repro-easz")
+    os.makedirs(directory, exist_ok=True)
+    return directory
+
+
+def default_benchmark_config(**overrides):
+    """The CPU-scale Easz configuration shared by the benchmark suite."""
+    defaults = dict(patch_size=16, subpatch_size=4, erase_per_row=1,
+                    d_model=48, num_heads=4, encoder_blocks=2, decoder_blocks=2,
+                    ffn_mult=2, loss_lambda=0.0)
+    defaults.update(overrides)
+    return EaszConfig(**defaults)
+
+
+def _config_key(config, steps, batch_size, dataset_images):
+    payload = (f"{config.patch_size}-{config.subpatch_size}-{config.d_model}-"
+               f"{config.num_heads}-{config.encoder_blocks}-{config.decoder_blocks}-"
+               f"{config.ffn_mult}-{config.channels}-{config.seed}-"
+               f"{steps}-{batch_size}-{dataset_images}")
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def pretrained_model(config=None, steps=500, batch_size=32, dataset_images=1024,
+                     use_perceptual_loss=False, force_retrain=False, verbose=False):
+    """Return a pre-trained :class:`EaszReconstructor`, training it if needed.
+
+    The model is pre-trained on :class:`CifarLikeDataset` patches (the
+    paper's offline phase) and cached under :func:`cache_directory`.
+    """
+    config = config or default_benchmark_config()
+    key = _config_key(config, steps, batch_size, dataset_images)
+    path = os.path.join(cache_directory(), f"easz-{key}.npz")
+    model = EaszReconstructor(config)
+    if not force_retrain and os.path.exists(path):
+        load_checkpoint(model, path)
+        model.eval()
+        return model
+    if verbose:
+        print(f"pre-training Easz reconstructor ({steps} steps) -> {path}")
+    dataset = CifarLikeDataset(num_images=dataset_images, size=config.patch_size,
+                               seed=9000 + config.seed)
+    trainer = EaszTrainer(model=model, config=config,
+                          use_perceptual_loss=use_perceptual_loss)
+    result = trainer.pretrain(dataset, steps=steps, batch_size=batch_size)
+    save_checkpoint(model, path, metadata={
+        "steps": result.steps,
+        "final_loss": result.final_loss,
+        "patch_size": config.patch_size,
+        "subpatch_size": config.subpatch_size,
+    })
+    model.eval()
+    return model

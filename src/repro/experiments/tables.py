@@ -1,0 +1,42 @@
+"""Plain-text table formatting for the benchmark harness.
+
+The benchmarks print the same rows the paper's tables report; these helpers
+keep the formatting consistent and readable in pytest/benchmark output.
+"""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "format_kv_block"]
+
+
+def _format_cell(value):
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(headers, rows, title=None):
+    """Render ``rows`` (sequences) under ``headers`` as an aligned ASCII table."""
+    str_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_kv_block(title, values):
+    """Render a ``{key: value}`` mapping as an aligned key/value block."""
+    width = max(len(str(k)) for k in values) if values else 0
+    lines = [title]
+    for key, value in values.items():
+        lines.append(f"  {str(key).ljust(width)} : {_format_cell(value)}")
+    return "\n".join(lines)

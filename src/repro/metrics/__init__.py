@@ -1,0 +1,54 @@
+"""``repro.metrics`` — image-quality metrics used throughout the evaluation.
+
+Full-reference: MSE/RMSE/MAE, PSNR, SSIM, MS-SSIM, LPIPS-proxy.
+No-reference (perceptual): BRISQUE, NIQE, PI and TReS proxies built on a
+shared natural-scene-statistics model.  Rate accounting: bits-per-pixel and
+file-saving ratio.
+"""
+
+from .bd import bd_quality, bd_rate
+from .bpp import bits_per_pixel, file_saving_ratio
+from .brisque import brisque
+from .gmsd import gmsd, gradient_magnitude_similarity
+from .lpips import PerceptualLoss, lpips
+from .rd import RateQualityCurve, average_curves, pareto_front
+from .mse import mae, mse, rmse
+from .naturalness import NaturalnessModel, default_model, generate_pristine_image
+from .niqe import niqe
+from .nss import fit_aggd, fit_ggd, mscn_coefficients, multiscale_nss_features, nss_features
+from .pi import pi
+from .psnr import psnr
+from .ssim import ms_ssim, ssim
+from .tres import tres
+
+__all__ = [
+    "mse",
+    "rmse",
+    "mae",
+    "psnr",
+    "ssim",
+    "ms_ssim",
+    "lpips",
+    "PerceptualLoss",
+    "brisque",
+    "niqe",
+    "pi",
+    "tres",
+    "NaturalnessModel",
+    "default_model",
+    "generate_pristine_image",
+    "mscn_coefficients",
+    "nss_features",
+    "multiscale_nss_features",
+    "fit_ggd",
+    "fit_aggd",
+    "bits_per_pixel",
+    "file_saving_ratio",
+    "bd_rate",
+    "bd_quality",
+    "gmsd",
+    "gradient_magnitude_similarity",
+    "RateQualityCurve",
+    "average_curves",
+    "pareto_front",
+]

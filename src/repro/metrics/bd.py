@@ -1,0 +1,83 @@
+"""Bjøntegaard-delta metrics for comparing rate/quality curves.
+
+The paper reports point comparisons ("+Easz improves Brisque at ~equal BPP");
+the codec-evaluation community summarises the same information as a single
+number via the Bjøntegaard delta: the average vertical (quality) or
+horizontal (rate) gap between two rate-distortion curves, computed from a
+cubic polynomial fit in the log-rate domain (Bjøntegaard, VCEG-M33, 2001).
+
+``bd_quality`` returns the average quality difference (test − anchor) at equal
+rate; ``bd_rate`` returns the average *percentage* rate difference (test vs
+anchor) at equal quality — negative means the test codec needs fewer bits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["bd_quality", "bd_rate"]
+
+
+def _validate_curve(rates, qualities, name):
+    rates = np.asarray(rates, dtype=np.float64)
+    qualities = np.asarray(qualities, dtype=np.float64)
+    if rates.shape != qualities.shape or rates.ndim != 1:
+        raise ValueError(f"{name}: rates and qualities must be 1-D arrays of equal length")
+    if rates.size < 4:
+        raise ValueError(f"{name}: at least 4 rate/quality points are required for the cubic fit")
+    if np.any(rates <= 0):
+        raise ValueError(f"{name}: rates must be strictly positive")
+    order = np.argsort(rates)
+    return rates[order], qualities[order]
+
+
+def _poly_integral(coefficients, low, high):
+    """Definite integral of a polynomial given by ``np.polyfit`` coefficients."""
+    integral = np.polyint(coefficients)
+    return np.polyval(integral, high) - np.polyval(integral, low)
+
+
+def bd_quality(anchor_rates, anchor_qualities, test_rates, test_qualities):
+    """Average quality gain of the test codec over the anchor at equal rate.
+
+    Positive values mean the test codec achieves higher quality (for
+    higher-is-better metrics) over the overlapping rate range.
+    """
+    anchor_rates, anchor_qualities = _validate_curve(anchor_rates, anchor_qualities, "anchor")
+    test_rates, test_qualities = _validate_curve(test_rates, test_qualities, "test")
+    log_anchor = np.log10(anchor_rates)
+    log_test = np.log10(test_rates)
+    fit_anchor = np.polyfit(log_anchor, anchor_qualities, 3)
+    fit_test = np.polyfit(log_test, test_qualities, 3)
+    low = max(log_anchor.min(), log_test.min())
+    high = min(log_anchor.max(), log_test.max())
+    if high <= low:
+        raise ValueError("rate ranges of the two curves do not overlap")
+    area_anchor = _poly_integral(fit_anchor, low, high)
+    area_test = _poly_integral(fit_test, low, high)
+    return float((area_test - area_anchor) / (high - low))
+
+
+def bd_rate(anchor_rates, anchor_qualities, test_rates, test_qualities):
+    """Average percentage rate change of the test codec at equal quality.
+
+    Negative values mean the test codec needs fewer bits for the same quality
+    (e.g. ``-25.0`` → 25 % bitrate saving over the anchor).
+    """
+    anchor_rates, anchor_qualities = _validate_curve(anchor_rates, anchor_qualities, "anchor")
+    test_rates, test_qualities = _validate_curve(test_rates, test_qualities, "test")
+    for name, qualities in (("anchor", anchor_qualities), ("test", test_qualities)):
+        if np.any(np.diff(np.sort(qualities)) <= 0) and np.unique(qualities).size != qualities.size:
+            raise ValueError(f"{name}: quality values must be distinct for the rate fit")
+    log_anchor = np.log10(anchor_rates)
+    log_test = np.log10(test_rates)
+    fit_anchor = np.polyfit(anchor_qualities, log_anchor, 3)
+    fit_test = np.polyfit(test_qualities, log_test, 3)
+    low = max(anchor_qualities.min(), test_qualities.min())
+    high = min(anchor_qualities.max(), test_qualities.max())
+    if high <= low:
+        raise ValueError("quality ranges of the two curves do not overlap")
+    area_anchor = _poly_integral(fit_anchor, low, high)
+    area_test = _poly_integral(fit_test, low, high)
+    average_log_ratio = (area_test - area_anchor) / (high - low)
+    return float((10.0 ** average_log_ratio - 1.0) * 100.0)

@@ -1,0 +1,24 @@
+"""Bits-per-pixel accounting helpers."""
+
+from __future__ import annotations
+
+from ..image import image_num_pixels
+
+__all__ = ["bits_per_pixel", "file_saving_ratio"]
+
+
+def bits_per_pixel(num_bytes, image_or_shape):
+    """BPP of a payload of ``num_bytes`` for the given image or shape."""
+    return 8.0 * num_bytes / image_num_pixels(image_or_shape)
+
+
+def file_saving_ratio(baseline_bytes, reduced_bytes):
+    """Fractional file-size saving of ``reduced_bytes`` vs ``baseline_bytes``.
+
+    This is the quantity plotted in the paper's Fig. 3a ("file saving
+    ratio"): 0.1 means the erased-and-squeezed file is 10 % smaller than
+    compressing the full image with the same codec settings.
+    """
+    if baseline_bytes <= 0:
+        raise ValueError("baseline_bytes must be positive")
+    return float(1.0 - reduced_bytes / baseline_bytes)

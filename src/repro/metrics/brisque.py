@@ -1,0 +1,28 @@
+"""BRISQUE proxy (no-reference spatial quality score, lower is better).
+
+Mittal et al. (2012) extract 36 NSS features at two scales and regress a
+quality score with an SVR trained on the LIVE database.  The SVR weights are
+not available offline, so this proxy maps the Mahalanobis distance of the
+same feature family from a pristine-image model onto the familiar 0–100
+BRISQUE range.  The mapping constants were chosen so that typical values
+match the paper's Table II regime: lightly-compressed natural images score
+around 15–30 and heavily-artifacted JPEG output scores around 40–70.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .naturalness import default_model
+
+__all__ = ["brisque"]
+
+# Distance-to-score mapping: score = _SCALE * sqrt(distance), clipped to [0, 100].
+_SCALE = 14.0
+
+
+def brisque(image, model=None):
+    """BRISQUE-style score of ``image`` (lower = more natural = better)."""
+    model = model or default_model()
+    distance = model.distance(image)
+    return float(np.clip(_SCALE * np.sqrt(distance), 0.0, 100.0))

@@ -1,0 +1,103 @@
+"""LPIPS-style perceptual distance (reference metric + differentiable loss).
+
+The paper trains Easz with ``L1 + 0.3 · LPIPS(VGG)`` (Zhang et al., 2018).
+Pretrained VGG weights are not available offline, so this module implements a
+perceptual distance over a *fixed, hand-designed multi-scale feature pyramid*:
+oriented edge filters (Sobel pairs), a Laplacian and a local-average filter at
+several dyadic scales, with channel-normalised feature differences exactly as
+LPIPS computes them.  The filters are deterministic, so the metric is stable
+across runs, and the whole computation is built from :mod:`repro.nn` ops so it
+can be used as a differentiable training-loss term.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..image import ensure_gray, to_float
+
+__all__ = ["PerceptualLoss", "lpips"]
+
+
+def _fixed_filter_bank():
+    """Return the fixed 6-filter bank used at every pyramid level."""
+    sobel_x = np.array([[-1, 0, 1], [-2, 0, 2], [-1, 0, 1]], dtype=np.float64) / 4.0
+    sobel_y = sobel_x.T
+    diag1 = np.array([[0, 1, 2], [-1, 0, 1], [-2, -1, 0]], dtype=np.float64) / 4.0
+    diag2 = np.flip(diag1, axis=1).copy()
+    laplacian = np.array([[0, 1, 0], [1, -4, 1], [0, 1, 0]], dtype=np.float64) / 4.0
+    average = np.ones((3, 3), dtype=np.float64) / 9.0
+    return np.stack([sobel_x, sobel_y, diag1, diag2, laplacian, average])
+
+
+class PerceptualLoss(nn.Module):
+    """Differentiable LPIPS-style distance between image batches.
+
+    Inputs are tensors (or arrays) of shape ``(batch, height, width)``; RGB
+    inputs must be reduced to luma by the caller (the Easz training loop
+    feeds per-channel patches).  The distance is the mean squared difference
+    of unit-normalised feature maps, averaged over ``num_scales`` dyadic
+    scales — the same aggregation LPIPS uses over VGG stages.
+    """
+
+    def __init__(self, num_scales=3):
+        super().__init__()
+        self.num_scales = num_scales
+        bank = _fixed_filter_bank()
+        self._conv = nn.Conv2d(1, bank.shape[0], 3, stride=1, padding=1, bias=False)
+        self._conv.weight.data = bank[:, None, :, :]
+        self._conv.weight.requires_grad = False
+        self._pool = nn.AvgPool2d(2)
+
+    def _features(self, x):
+        """Feature maps at each scale for input ``(batch, 1, h, w)``."""
+        features = []
+        for scale in range(self.num_scales):
+            response = self._conv(x)
+            # unit-normalise across the channel dimension (LPIPS convention)
+            norm = ((response * response).sum(axis=1, keepdims=True) + 1e-8) ** 0.5
+            features.append(response * (norm ** -1.0))
+            if scale != self.num_scales - 1:
+                if x.shape[2] < 4 or x.shape[3] < 4:
+                    break
+                x = self._pool(x)
+        return features
+
+    def forward(self, prediction, target):
+        """Perceptual distance between ``prediction`` and ``target`` batches."""
+        prediction = nn.as_tensor(prediction)
+        target = nn.as_tensor(target)
+        if prediction.ndim == 3:
+            prediction = prediction.reshape(prediction.shape[0], 1, prediction.shape[1], prediction.shape[2])
+            target = target.reshape(target.shape[0], 1, target.shape[1], target.shape[2])
+        pred_features = self._features(prediction)
+        target_features = self._features(target)
+        total = None
+        for pred, ref in zip(pred_features, target_features):
+            diff = pred - ref
+            term = (diff * diff).mean()
+            total = term if total is None else total + term
+        return total * (1.0 / len(pred_features))
+
+
+_DEFAULT_LOSS = None
+
+
+def _default_loss():
+    global _DEFAULT_LOSS
+    if _DEFAULT_LOSS is None:
+        _DEFAULT_LOSS = PerceptualLoss()
+    return _DEFAULT_LOSS
+
+
+def lpips(reference, test):
+    """LPIPS-style perceptual distance between two images (lower is better)."""
+    reference = ensure_gray(to_float(reference))
+    test = ensure_gray(to_float(test))
+    if reference.shape != test.shape:
+        raise ValueError(f"shape mismatch: {reference.shape} vs {test.shape}")
+    loss = _default_loss()
+    with nn.no_grad():
+        value = loss(reference[None, ...], test[None, ...])
+    return float(value.data)

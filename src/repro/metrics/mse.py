@@ -1,0 +1,32 @@
+"""Mean-squared-error style pixel fidelity metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..image import to_float
+
+__all__ = ["mse", "rmse", "mae"]
+
+
+def mse(reference, test):
+    """Mean squared error between two images (float, ``[0, 1]`` range)."""
+    reference = to_float(reference)
+    test = to_float(test)
+    if reference.shape != test.shape:
+        raise ValueError(f"shape mismatch: {reference.shape} vs {test.shape}")
+    return float(np.mean((reference - test) ** 2))
+
+
+def rmse(reference, test):
+    """Root mean squared error."""
+    return float(np.sqrt(mse(reference, test)))
+
+
+def mae(reference, test):
+    """Mean absolute error."""
+    reference = to_float(reference)
+    test = to_float(test)
+    if reference.shape != test.shape:
+        raise ValueError(f"shape mismatch: {reference.shape} vs {test.shape}")
+    return float(np.mean(np.abs(reference - test)))

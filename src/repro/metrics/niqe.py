@@ -1,0 +1,26 @@
+"""NIQE proxy (no-reference naturalness score, lower is better).
+
+Mittal, Soundararajan & Bovik (2013) score an image by the Mahalanobis-like
+distance between the multivariate-Gaussian fit of its patch NSS features and
+a pristine-image Gaussian.  This proxy uses the shared
+:class:`repro.metrics.naturalness.NaturalnessModel` and rescales the distance
+into NIQE's typical 2–10 range.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .naturalness import default_model
+
+__all__ = ["niqe"]
+
+_SCALE = 1.1
+_OFFSET = 2.0
+
+
+def niqe(image, model=None):
+    """NIQE-style naturalness score of ``image`` (lower is better)."""
+    model = model or default_model()
+    distance = model.distance(image)
+    return float(_OFFSET + _SCALE * np.sqrt(distance))

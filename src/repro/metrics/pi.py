@@ -1,0 +1,23 @@
+"""Perceptual Index (PI) proxy, lower is better.
+
+The 2018 PIRM challenge defines ``PI = 0.5 * ((10 − Ma) + NIQE)`` where Ma is
+a learned full-range quality predictor.  The Ma model is unavailable offline,
+so this proxy substitutes a BRISQUE-derived pseudo-Ma score
+(``Ma ≈ 10 − BRISQUE/10``), which keeps PI a monotone combination of the two
+NSS-based scores with the same 2–9 operating range the paper reports.
+"""
+
+from __future__ import annotations
+
+from .brisque import brisque
+from .niqe import niqe
+
+__all__ = ["pi"]
+
+
+def pi(image, model=None):
+    """Perceptual-index style score of ``image`` (lower is better)."""
+    brisque_score = brisque(image, model=model)
+    niqe_score = niqe(image, model=model)
+    pseudo_ma = 10.0 - brisque_score / 10.0
+    return float(0.5 * ((10.0 - pseudo_ma) + niqe_score))

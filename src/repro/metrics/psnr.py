@@ -1,0 +1,20 @@
+"""Peak signal-to-noise ratio."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .mse import mse
+
+__all__ = ["psnr"]
+
+
+def psnr(reference, test, data_range=1.0):
+    """PSNR in dB between two images in ``[0, data_range]``.
+
+    Returns ``inf`` for identical images.
+    """
+    error = mse(reference, test)
+    if error == 0:
+        return float("inf")
+    return float(10.0 * np.log10(data_range ** 2 / error))

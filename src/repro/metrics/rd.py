@@ -1,0 +1,141 @@
+"""Rate/quality curve containers used by the experiment harness.
+
+A :class:`RateQualityCurve` collects the ``(bpp, quality)`` operating points
+of one codec (one curve of the paper's Fig. 7a-b / Fig. 8a-c), provides
+monotone interpolation between them, locates crossover points between two
+curves ("where does JPEG+Easz overtake MBT?"), extracts the Pareto front, and
+averages several per-image curves into a dataset-level curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RateQualityCurve", "average_curves", "pareto_front"]
+
+
+@dataclass
+class RateQualityCurve:
+    """An ordered set of (rate, quality) operating points for one codec."""
+
+    label: str
+    metric: str = "quality"
+    higher_is_better: bool = True
+    points: list = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    def add(self, bpp, quality, **parameters):
+        """Append one operating point (keeps the curve sorted by rate)."""
+        self.points.append({"bpp": float(bpp), "quality": float(quality),
+                            "parameters": parameters})
+        self.points.sort(key=lambda p: p["bpp"])
+        return self
+
+    def __len__(self):
+        return len(self.points)
+
+    @property
+    def rates(self):
+        """BPP values in ascending order."""
+        return np.array([p["bpp"] for p in self.points])
+
+    @property
+    def qualities(self):
+        """Quality values aligned with :attr:`rates`."""
+        return np.array([p["quality"] for p in self.points])
+
+    # ------------------------------------------------------------------ #
+    def quality_at(self, bpp):
+        """Quality at a given rate via linear interpolation (clamped at the ends)."""
+        if not self.points:
+            raise ValueError(f"curve {self.label!r} has no points")
+        rates, qualities = self.rates, self.qualities
+        return float(np.interp(bpp, rates, qualities))
+
+    def rate_at(self, quality):
+        """Rate needed to reach ``quality`` (requires monotone quality)."""
+        if not self.points:
+            raise ValueError(f"curve {self.label!r} has no points")
+        rates, qualities = self.rates, self.qualities
+        order = np.argsort(qualities)
+        return float(np.interp(quality, qualities[order], rates[order]))
+
+    def crossover(self, other, samples=256):
+        """Rate at which this curve overtakes ``other`` (None if it never does).
+
+        "Overtakes" respects :attr:`higher_is_better`: for BRISQUE-style
+        lower-is-better metrics the crossover is where this curve drops below
+        the other.
+        """
+        low = max(self.rates.min(), other.rates.min())
+        high = min(self.rates.max(), other.rates.max())
+        if high <= low:
+            return None
+        grid = np.linspace(low, high, samples)
+        mine = np.array([self.quality_at(x) for x in grid])
+        theirs = np.array([other.quality_at(x) for x in grid])
+        advantage = (mine - theirs) if self.higher_is_better else (theirs - mine)
+        winning = advantage > 0
+        if not winning.any():
+            return None
+        return float(grid[np.argmax(winning)])
+
+    def dominates_at(self, other, bpp):
+        """Whether this curve is better than ``other`` at a specific rate."""
+        mine, theirs = self.quality_at(bpp), other.quality_at(bpp)
+        return mine > theirs if self.higher_is_better else mine < theirs
+
+    # ------------------------------------------------------------------ #
+    def as_series(self):
+        """Convert to an ``repro.experiments.Series`` for table rendering."""
+        from ..experiments.figures import Series
+
+        return Series(label=self.label, xs=list(self.rates), ys=list(self.qualities),
+                      metadata={"metric": self.metric})
+
+
+def pareto_front(curve):
+    """Operating points of ``curve`` not dominated by any other point.
+
+    A point dominates another when it has both lower rate and better quality.
+    Returns a new :class:`RateQualityCurve` containing only the front.
+    """
+    front = RateQualityCurve(label=f"{curve.label} (pareto)", metric=curve.metric,
+                             higher_is_better=curve.higher_is_better)
+    sign = 1.0 if curve.higher_is_better else -1.0
+    best = -np.inf
+    # Walk from the cheapest rate upwards; a point joins the front only if it
+    # improves on every cheaper point.
+    for point in sorted(curve.points, key=lambda p: p["bpp"]):
+        score = sign * point["quality"]
+        if score > best:
+            front.points.append(dict(point))
+            best = score
+    return front
+
+
+def average_curves(curves, label=None, samples=16):
+    """Average several per-image curves into one dataset-level curve.
+
+    The curves are resampled on the common overlapping rate range and the
+    qualities averaged pointwise (the way the paper averages Kodak images at
+    a fixed codec setting).
+    """
+    curves = list(curves)
+    if not curves:
+        raise ValueError("average_curves needs at least one curve")
+    low = max(c.rates.min() for c in curves)
+    high = min(c.rates.max() for c in curves)
+    if high <= low:
+        raise ValueError("curves have no overlapping rate range to average over")
+    grid = np.linspace(low, high, samples)
+    averaged = RateQualityCurve(
+        label=label or f"mean({curves[0].label})",
+        metric=curves[0].metric,
+        higher_is_better=curves[0].higher_is_better,
+    )
+    for bpp in grid:
+        averaged.add(bpp, float(np.mean([c.quality_at(bpp) for c in curves])))
+    return averaged

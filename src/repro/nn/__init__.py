@@ -1,0 +1,86 @@
+"""``repro.nn`` — a compact numpy neural-network framework.
+
+This package stands in for PyTorch (unavailable offline) and provides
+everything the Easz reproduction needs: a reverse-mode autograd tensor,
+layers (Linear, LayerNorm, Conv2d, ...), multi-head attention, transformer
+blocks, optimisers (SGD/Adam/AdamW) and checkpoint (de)serialisation.
+"""
+
+from . import functional, init
+from .attention import MultiHeadSelfAttention
+from .layers import (
+    AvgPool2d,
+    Conv2d,
+    Dropout,
+    Embedding,
+    GELU,
+    Identity,
+    LayerNorm,
+    Linear,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+    Upsample2d,
+)
+from .optim import Adam, AdamW, CosineSchedule, Optimizer, SGD, clip_grad_norm
+from .schedulers import (
+    ConstantLR,
+    EarlyStopping,
+    ExponentialLR,
+    ExponentialMovingAverage,
+    LRScheduler,
+    ReduceLROnPlateau,
+    StepLR,
+    WarmupCosineLR,
+)
+from .serialization import load_checkpoint, save_checkpoint, state_dict_num_bytes
+from .tensor import Tensor, as_tensor, is_grad_enabled, no_grad
+from .transformer import FeedForward, TransformerBlock, TransformerStack
+
+__all__ = [
+    "functional",
+    "init",
+    "Tensor",
+    "as_tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "Module",
+    "Parameter",
+    "Linear",
+    "LayerNorm",
+    "Dropout",
+    "Embedding",
+    "Sequential",
+    "ReLU",
+    "GELU",
+    "Sigmoid",
+    "Tanh",
+    "Identity",
+    "Conv2d",
+    "AvgPool2d",
+    "Upsample2d",
+    "MultiHeadSelfAttention",
+    "FeedForward",
+    "TransformerBlock",
+    "TransformerStack",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "CosineSchedule",
+    "clip_grad_norm",
+    "LRScheduler",
+    "ConstantLR",
+    "StepLR",
+    "ExponentialLR",
+    "WarmupCosineLR",
+    "ReduceLROnPlateau",
+    "EarlyStopping",
+    "ExponentialMovingAverage",
+    "save_checkpoint",
+    "load_checkpoint",
+    "state_dict_num_bytes",
+]

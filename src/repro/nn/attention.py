@@ -1,0 +1,77 @@
+"""Multi-head self-attention used by the Easz reconstruction transformer.
+
+The attention operates over the sub-patch tokens of a *single* image patch
+(the paper's two-stage patchify confines attention to an ``n×n`` patch), so
+token counts stay small — typically ``(n/b)²`` which is 64 for ``n=32, b=4``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .layers import Linear, Module, Parameter
+
+__all__ = ["MultiHeadSelfAttention"]
+
+
+class MultiHeadSelfAttention(Module):
+    """Standard multi-head self-attention (Vaswani et al., 2017).
+
+    Parameters
+    ----------
+    d_model:
+        Token embedding width.
+    num_heads:
+        Number of attention heads; must divide ``d_model``.
+    rng:
+        Random generator used for weight initialisation.
+    """
+
+    def __init__(self, d_model, num_heads, rng=None):
+        super().__init__()
+        if d_model % num_heads != 0:
+            raise ValueError(f"d_model={d_model} must be divisible by num_heads={num_heads}")
+        rng = rng or np.random.default_rng(0)
+        self.d_model = d_model
+        self.num_heads = num_heads
+        self.head_dim = d_model // num_heads
+        self.query = Linear(d_model, d_model, rng=rng)
+        self.key = Linear(d_model, d_model, rng=rng)
+        self.value = Linear(d_model, d_model, rng=rng)
+        self.out = Linear(d_model, d_model, rng=rng)
+
+    def _split_heads(self, x, batch, tokens):
+        # (batch, tokens, d_model) -> (batch, heads, tokens, head_dim)
+        return x.reshape(batch, tokens, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x, batch, tokens):
+        # (batch, heads, tokens, head_dim) -> (batch, tokens, d_model)
+        return x.transpose(0, 2, 1, 3).reshape(batch, tokens, self.d_model)
+
+    def forward(self, x, mask=None):
+        """Apply self-attention to ``x`` of shape ``(batch, tokens, d_model)``.
+
+        ``mask`` is an optional additive attention mask broadcastable to
+        ``(batch, heads, tokens, tokens)``.
+        """
+        batch, tokens, _ = x.shape
+        q = self._split_heads(self.query(x), batch, tokens)
+        k = self._split_heads(self.key(x), batch, tokens)
+        v = self._split_heads(self.value(x), batch, tokens)
+        attended, _ = F.scaled_dot_product_attention(q, k, v, mask=mask)
+        merged = self._merge_heads(attended, batch, tokens)
+        return self.out(merged)
+
+    def attention_flops(self, tokens):
+        """Analytic FLOP count of one forward pass over ``tokens`` tokens.
+
+        Used by :mod:`repro.edge.latency` and the two-stage-patchify ablation
+        to reason about the paper's complexity analysis (Section III-B).
+        """
+        d = self.d_model
+        projections = 4 * tokens * d * d
+        scores = tokens * tokens * d
+        weighted_sum = tokens * tokens * d
+        return 2 * (projections + scores + weighted_sum)

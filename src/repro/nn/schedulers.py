@@ -1,0 +1,205 @@
+"""Learning-rate schedules and training-loop utilities for :mod:`repro.nn`.
+
+The paper's training recipe uses a fixed learning rate, but the fine-tuning
+experiments (Fig. 7d) and the larger paper-scale configuration benefit from
+standard schedule machinery, so the usual suspects are provided here:
+step/exponential/linear-warmup-cosine schedules, plateau reduction, early
+stopping, and an exponential moving average of model weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "LRScheduler",
+    "ConstantLR",
+    "StepLR",
+    "ExponentialLR",
+    "WarmupCosineLR",
+    "ReduceLROnPlateau",
+    "EarlyStopping",
+    "ExponentialMovingAverage",
+]
+
+
+class LRScheduler:
+    """Base class: owns the optimiser and the base learning rate.
+
+    Sub-classes implement :meth:`compute_lr`; :meth:`step` advances the step
+    counter, writes the new learning rate into ``optimizer.lr`` and returns
+    it.
+    """
+
+    def __init__(self, optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.step_count = 0
+
+    def compute_lr(self, step):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def step(self):
+        """Advance one step and update the optimiser's learning rate."""
+        self.step_count += 1
+        lr = self.compute_lr(self.step_count)
+        self.optimizer.lr = lr
+        return lr
+
+    @property
+    def current_lr(self):
+        """The learning rate currently installed in the optimiser."""
+        return self.optimizer.lr
+
+
+class ConstantLR(LRScheduler):
+    """Keeps the learning rate fixed (useful as a no-op default)."""
+
+    def compute_lr(self, step):
+        """Always the base learning rate."""
+        return self.base_lr
+
+
+class StepLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(self, optimizer, step_size, gamma=0.1):
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.step_size = int(step_size)
+        self.gamma = float(gamma)
+
+    def compute_lr(self, step):
+        """Piecewise-constant decayed learning rate."""
+        return self.base_lr * self.gamma ** (step // self.step_size)
+
+
+class ExponentialLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` every step."""
+
+    def __init__(self, optimizer, gamma=0.99):
+        super().__init__(optimizer)
+        self.gamma = float(gamma)
+
+    def compute_lr(self, step):
+        """Exponentially decayed learning rate."""
+        return self.base_lr * self.gamma ** step
+
+
+class WarmupCosineLR(LRScheduler):
+    """Linear warm-up followed by a cosine decay to ``min_lr``."""
+
+    def __init__(self, optimizer, total_steps, warmup_steps=0, min_lr=0.0):
+        super().__init__(optimizer)
+        self.total_steps = max(1, int(total_steps))
+        self.warmup_steps = int(warmup_steps)
+        self.min_lr = float(min_lr)
+
+    def compute_lr(self, step):
+        """Warm-up then half-cosine anneal."""
+        if self.warmup_steps and step <= self.warmup_steps:
+            return self.base_lr * step / self.warmup_steps
+        progress = (step - self.warmup_steps) / max(1, self.total_steps - self.warmup_steps)
+        progress = min(1.0, progress)
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1.0 + np.cos(np.pi * progress))
+
+
+class ReduceLROnPlateau:
+    """Reduce the learning rate when a monitored loss stops improving.
+
+    Call :meth:`step(loss)` once per evaluation.  After ``patience``
+    evaluations without an improvement larger than ``threshold`` the learning
+    rate is multiplied by ``factor`` (down to ``min_lr``).
+    """
+
+    def __init__(self, optimizer, factor=0.5, patience=5, threshold=1e-4, min_lr=0.0):
+        if not 0.0 < factor < 1.0:
+            raise ValueError("factor must be in (0, 1)")
+        self.optimizer = optimizer
+        self.factor = factor
+        self.patience = int(patience)
+        self.threshold = float(threshold)
+        self.min_lr = float(min_lr)
+        self.best = float("inf")
+        self.bad_steps = 0
+        self.num_reductions = 0
+
+    def step(self, loss):
+        """Record a loss value; reduce the learning rate on a plateau."""
+        loss = float(loss)
+        if loss < self.best - self.threshold:
+            self.best = loss
+            self.bad_steps = 0
+        else:
+            self.bad_steps += 1
+            if self.bad_steps > self.patience:
+                new_lr = max(self.min_lr, self.optimizer.lr * self.factor)
+                if new_lr < self.optimizer.lr:
+                    self.optimizer.lr = new_lr
+                    self.num_reductions += 1
+                self.bad_steps = 0
+        return self.optimizer.lr
+
+
+class EarlyStopping:
+    """Stop training when the monitored loss has not improved for ``patience`` steps."""
+
+    def __init__(self, patience=10, threshold=0.0):
+        self.patience = int(patience)
+        self.threshold = float(threshold)
+        self.best = float("inf")
+        self.bad_steps = 0
+        self.should_stop = False
+
+    def step(self, loss):
+        """Record a loss; returns ``True`` when training should stop."""
+        loss = float(loss)
+        if loss < self.best - self.threshold:
+            self.best = loss
+            self.bad_steps = 0
+        else:
+            self.bad_steps += 1
+            if self.bad_steps >= self.patience:
+                self.should_stop = True
+        return self.should_stop
+
+
+class ExponentialMovingAverage:
+    """Exponential moving average of model parameters.
+
+    Keeps a shadow copy of every parameter and blends it towards the live
+    weights after each optimiser step (``shadow = decay·shadow + (1-decay)·w``).
+    :meth:`apply_to` temporarily installs the averaged weights (e.g. for
+    evaluation) and :meth:`restore` puts the live weights back.
+    """
+
+    def __init__(self, parameters, decay=0.999):
+        if not 0.0 < decay < 1.0:
+            raise ValueError("decay must be in (0, 1)")
+        self.decay = float(decay)
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("EMA received an empty parameter list")
+        self.shadow = [np.array(p.data, copy=True) for p in self.parameters]
+        self._backup = None
+
+    def update(self):
+        """Blend the shadow weights towards the current live weights."""
+        for shadow, parameter in zip(self.shadow, self.parameters):
+            shadow *= self.decay
+            shadow += (1.0 - self.decay) * parameter.data
+
+    def apply_to(self):
+        """Install the averaged weights into the live parameters (reversibly)."""
+        self._backup = [np.array(p.data, copy=True) for p in self.parameters]
+        for shadow, parameter in zip(self.shadow, self.parameters):
+            parameter.data = np.array(shadow, copy=True)
+
+    def restore(self):
+        """Undo :meth:`apply_to`, restoring the live training weights."""
+        if self._backup is None:
+            raise RuntimeError("restore() called without a preceding apply_to()")
+        for backup, parameter in zip(self._backup, self.parameters):
+            parameter.data = backup
+        self._backup = None

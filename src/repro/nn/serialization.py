@@ -1,0 +1,63 @@
+"""Model checkpointing for :mod:`repro.nn` modules.
+
+Checkpoints are plain ``.npz`` archives mapping parameter names to arrays,
+so they can be inspected with numpy alone.  This replaces ``torch.save`` in
+the paper's training pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+__all__ = ["save_checkpoint", "load_checkpoint", "state_dict_num_bytes"]
+
+_META_KEY = "__meta_json__"
+
+
+def save_checkpoint(module, path, metadata=None):
+    """Serialise ``module.state_dict()`` (plus optional metadata) to ``path``.
+
+    Parameters
+    ----------
+    module:
+        Any :class:`repro.nn.layers.Module`.
+    path:
+        Destination ``.npz`` file; parent directories are created.
+    metadata:
+        Optional JSON-serialisable dict stored alongside the weights
+        (e.g. training configuration, epoch count).
+    """
+    state = module.state_dict()
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    payload = {key: np.asarray(value) for key, value in state.items()}
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_checkpoint(module, path):
+    """Load weights saved by :func:`save_checkpoint` into ``module``.
+
+    Returns the metadata dict stored with the checkpoint.
+    """
+    with np.load(path, allow_pickle=False) as archive:
+        metadata = {}
+        state = {}
+        for key in archive.files:
+            if key == _META_KEY:
+                metadata = json.loads(bytes(archive[key].tobytes()).decode("utf-8"))
+            else:
+                state[key] = archive[key]
+    module.load_state_dict(state)
+    return metadata
+
+
+def state_dict_num_bytes(state, bytes_per_param=4):
+    """Size in bytes of a state dict assuming fp32 storage per parameter."""
+    return sum(int(np.asarray(v).size) for v in state.values()) * bytes_per_param

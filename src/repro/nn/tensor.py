@@ -1,0 +1,607 @@
+"""Reverse-mode automatic differentiation on top of numpy arrays.
+
+This module is the foundation of :mod:`repro.nn`, the small neural-network
+framework the Easz reproduction is built on (the paper uses PyTorch, which is
+not available in this environment).  It provides a :class:`Tensor` type that
+records the operations applied to it and can back-propagate gradients through
+them with :meth:`Tensor.backward`.
+
+The design follows the classic define-by-run tape approach:
+
+* every differentiable operation produces a new :class:`Tensor` whose
+  ``_backward`` closure knows how to route the output gradient to the
+  gradients of its parents;
+* :meth:`Tensor.backward` performs a reverse topological traversal of the
+  graph and accumulates gradients into ``Tensor.grad``.
+
+Only float arrays participate in differentiation; integer tensors may be used
+as indices.  Broadcasting is supported for elementwise operations and the
+gradient is "un-broadcast" (summed) back to the parent's shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled"]
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager that disables gradient tracking.
+
+    Used during evaluation/inference so that no autograd graph is built::
+
+        with no_grad():
+            y = model(x)
+    """
+
+    def __enter__(self):
+        global _GRAD_ENABLED
+        self._prev = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, exc_type, exc_val, exc_tb):
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._prev
+        return False
+
+
+def is_grad_enabled():
+    """Return ``True`` when autograd graph construction is enabled."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad, shape):
+    """Sum ``grad`` so that it has ``shape``, undoing numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading dimensions added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over dimensions that were broadcast from size 1.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def as_tensor(value, requires_grad=False):
+    """Coerce ``value`` (Tensor, ndarray or scalar) into a :class:`Tensor`."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value, requires_grad=requires_grad)
+
+
+class Tensor:
+    """A numpy-backed array that supports reverse-mode autodiff.
+
+    Parameters
+    ----------
+    data:
+        Anything ``np.asarray`` accepts.  Float data is stored as ``float64``
+        by default (numerical robustness matters more than speed at the
+        scale of this reproduction).
+    requires_grad:
+        When ``True`` the tensor accumulates gradients during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "_op")
+    __array_priority__ = 100.0  # make numpy defer to Tensor dunders
+
+    def __init__(self, data, requires_grad=False, _parents=(), _op=""):
+        arr = np.asarray(data)
+        if arr.dtype.kind in "fc":
+            arr = arr.astype(np.float64, copy=False)
+        self.data = arr
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
+        self.grad = None
+        self._backward = None
+        self._parents = tuple(_parents) if self.requires_grad or any(
+            isinstance(p, Tensor) and p.requires_grad for p in _parents
+        ) else ()
+        self._op = _op
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self):
+        """Shape of the underlying array."""
+        return self.data.shape
+
+    @property
+    def ndim(self):
+        """Number of dimensions of the underlying array."""
+        return self.data.ndim
+
+    @property
+    def size(self):
+        """Total number of elements."""
+        return self.data.size
+
+    @property
+    def dtype(self):
+        """Numpy dtype of the underlying array."""
+        return self.data.dtype
+
+    @property
+    def T(self):
+        """Transpose of the last two dimensions (matrix transpose)."""
+        return self.transpose()
+
+    def numpy(self):
+        """Return the underlying numpy array (no copy)."""
+        return self.data
+
+    def item(self):
+        """Return the value of a single-element tensor as a Python scalar."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def detach(self):
+        """Return a new tensor sharing data but detached from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self):
+        """Reset the accumulated gradient to ``None``."""
+        self.grad = None
+
+    def __repr__(self):
+        grad_str = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}, dtype={self.dtype}{grad_str})"
+
+    def __len__(self):
+        return len(self.data)
+
+    # ------------------------------------------------------------------ #
+    # graph bookkeeping
+    # ------------------------------------------------------------------ #
+    def _make_child(self, data, parents, backward, op):
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires, _parents=parents if requires else (), _op=op)
+        if requires:
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad):
+        grad = np.asarray(grad, dtype=np.float64)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad=None):
+        """Back-propagate from this tensor through the recorded graph.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of the final objective with respect to this tensor.
+            Defaults to ``1.0`` which is only valid for scalar tensors.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar tensors")
+            grad = np.ones_like(self.data)
+        self._accumulate(np.asarray(grad, dtype=np.float64))
+
+        topo = []
+        visited = set()
+        stack = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if isinstance(parent, Tensor) and id(parent) not in visited:
+                    stack.append((parent, False))
+
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    # ------------------------------------------------------------------ #
+    # elementwise arithmetic
+    # ------------------------------------------------------------------ #
+    def __add__(self, other):
+        other = as_tensor(other)
+        out_data = self.data + other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad, other.shape))
+
+        return self._make_child(out_data, (self, other), backward, "add")
+
+    def __radd__(self, other):
+        return self.__add__(other)
+
+    def __mul__(self, other):
+        other = as_tensor(other)
+        out_data = self.data * other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad * other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad * self.data, other.shape))
+
+        return self._make_child(out_data, (self, other), backward, "mul")
+
+    def __rmul__(self, other):
+        return self.__mul__(other)
+
+    def __neg__(self):
+        return self * -1.0
+
+    def __sub__(self, other):
+        return self + (-as_tensor(other))
+
+    def __rsub__(self, other):
+        return as_tensor(other) + (-self)
+
+    def __truediv__(self, other):
+        other = as_tensor(other)
+        return self * other ** -1.0
+
+    def __rtruediv__(self, other):
+        return as_tensor(other) * self ** -1.0
+
+    def __pow__(self, exponent):
+        if isinstance(exponent, Tensor):
+            raise TypeError("tensor exponents are not supported; use exp(log(x) * y)")
+        exponent = float(exponent)
+        out_data = self.data ** exponent
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad * exponent * self.data ** (exponent - 1.0), self.shape))
+
+        return self._make_child(out_data, (self,), backward, "pow")
+
+    def __matmul__(self, other):
+        other = as_tensor(other)
+        out_data = self.data @ other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                ga = grad @ np.swapaxes(other.data, -1, -2)
+                self._accumulate(_unbroadcast(ga, self.shape))
+            if other.requires_grad:
+                gb = np.swapaxes(self.data, -1, -2) @ grad
+                other._accumulate(_unbroadcast(gb, other.shape))
+
+        return self._make_child(out_data, (self, other), backward, "matmul")
+
+    def __rmatmul__(self, other):
+        return as_tensor(other).__matmul__(self)
+
+    # comparisons return plain numpy boolean arrays (non-differentiable)
+    def __gt__(self, other):
+        return self.data > (other.data if isinstance(other, Tensor) else other)
+
+    def __lt__(self, other):
+        return self.data < (other.data if isinstance(other, Tensor) else other)
+
+    def __ge__(self, other):
+        return self.data >= (other.data if isinstance(other, Tensor) else other)
+
+    def __le__(self, other):
+        return self.data <= (other.data if isinstance(other, Tensor) else other)
+
+    # ------------------------------------------------------------------ #
+    # elementwise math
+    # ------------------------------------------------------------------ #
+    def exp(self):
+        """Elementwise exponential."""
+        out_data = np.exp(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * out_data)
+
+        return self._make_child(out_data, (self,), backward, "exp")
+
+    def log(self):
+        """Elementwise natural logarithm."""
+        out_data = np.log(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad / self.data)
+
+        return self._make_child(out_data, (self,), backward, "log")
+
+    def sqrt(self):
+        """Elementwise square root."""
+        return self ** 0.5
+
+    def abs(self):
+        """Elementwise absolute value (sub-gradient 0 at zero)."""
+        out_data = np.abs(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * np.sign(self.data))
+
+        return self._make_child(out_data, (self,), backward, "abs")
+
+    def tanh(self):
+        """Elementwise hyperbolic tangent."""
+        out_data = np.tanh(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * (1.0 - out_data ** 2))
+
+        return self._make_child(out_data, (self,), backward, "tanh")
+
+    def sigmoid(self):
+        """Elementwise logistic sigmoid."""
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * out_data * (1.0 - out_data))
+
+        return self._make_child(out_data, (self,), backward, "sigmoid")
+
+    def relu(self):
+        """Elementwise rectified linear unit."""
+        mask = self.data > 0
+        out_data = self.data * mask
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * mask)
+
+        return self._make_child(out_data, (self,), backward, "relu")
+
+    def gelu(self):
+        """Gaussian error linear unit (tanh approximation, as in ViT/BERT)."""
+        c = np.sqrt(2.0 / np.pi)
+        x = self.data
+        inner = c * (x + 0.044715 * x ** 3)
+        t = np.tanh(inner)
+        out_data = 0.5 * x * (1.0 + t)
+
+        def backward(grad):
+            if self.requires_grad:
+                dinner = c * (1.0 + 3 * 0.044715 * x ** 2)
+                dt = (1.0 - t ** 2) * dinner
+                local = 0.5 * (1.0 + t) + 0.5 * x * dt
+                self._accumulate(grad * local)
+
+        return self._make_child(out_data, (self,), backward, "gelu")
+
+    def clip(self, low, high):
+        """Clamp values into ``[low, high]`` (gradient is 0 outside)."""
+        out_data = np.clip(self.data, low, high)
+        mask = (self.data >= low) & (self.data <= high)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * mask)
+
+        return self._make_child(out_data, (self,), backward, "clip")
+
+    def maximum(self, other):
+        """Elementwise maximum with another tensor or scalar."""
+        other = as_tensor(other)
+        out_data = np.maximum(self.data, other.data)
+        mask = self.data >= other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad * mask, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad * (~mask), other.shape))
+
+        return self._make_child(out_data, (self, other), backward, "maximum")
+
+    # ------------------------------------------------------------------ #
+    # reductions
+    # ------------------------------------------------------------------ #
+    def sum(self, axis=None, keepdims=False):
+        """Sum over ``axis`` (all elements by default)."""
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad):
+            if not self.requires_grad:
+                return
+            g = np.asarray(grad)
+            if axis is None:
+                g = np.broadcast_to(g, self.shape)
+            else:
+                if not keepdims:
+                    g = np.expand_dims(g, axis)
+                g = np.broadcast_to(g, self.shape)
+            self._accumulate(g)
+
+        return self._make_child(out_data, (self,), backward, "sum")
+
+    def mean(self, axis=None, keepdims=False):
+        """Arithmetic mean over ``axis``."""
+        if axis is None:
+            count = self.data.size
+        elif isinstance(axis, tuple):
+            count = int(np.prod([self.shape[a] for a in axis]))
+        else:
+            count = self.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def var(self, axis=None, keepdims=False):
+        """Population variance over ``axis``."""
+        mu = self.mean(axis=axis, keepdims=True)
+        centered = self - mu
+        return (centered * centered).mean(axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims=False):
+        """Maximum over ``axis``; gradient flows to the (first) arg-max."""
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad):
+            if not self.requires_grad:
+                return
+            g = np.asarray(grad)
+            if axis is None:
+                mask = (self.data == self.data.max())
+                mask = mask / mask.sum()
+                self._accumulate(mask * g)
+            else:
+                expanded = out_data if keepdims else np.expand_dims(out_data, axis)
+                mask = (self.data == expanded).astype(np.float64)
+                mask = mask / np.maximum(mask.sum(axis=axis, keepdims=True), 1.0)
+                gg = g if keepdims else np.expand_dims(g, axis)
+                self._accumulate(mask * gg)
+
+        return self._make_child(out_data, (self,), backward, "max")
+
+    # ------------------------------------------------------------------ #
+    # shape manipulation
+    # ------------------------------------------------------------------ #
+    def reshape(self, *shape):
+        """Return a tensor with the same data viewed with a new shape."""
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+        original = self.shape
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(np.asarray(grad).reshape(original))
+
+        return self._make_child(out_data, (self,), backward, "reshape")
+
+    def transpose(self, *axes):
+        """Permute dimensions.  With no arguments swaps the last two axes."""
+        if not axes:
+            if self.ndim < 2:
+                axes = tuple(range(self.ndim))
+            else:
+                axes = tuple(range(self.ndim - 2)) + (self.ndim - 1, self.ndim - 2)
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        out_data = self.data.transpose(axes)
+        inverse = np.argsort(axes)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(np.asarray(grad).transpose(inverse))
+
+        return self._make_child(out_data, (self,), backward, "transpose")
+
+    def __getitem__(self, index):
+        if isinstance(index, Tensor):
+            index = index.data
+        out_data = self.data[index]
+
+        def backward(grad):
+            if self.requires_grad:
+                full = np.zeros_like(self.data, dtype=np.float64)
+                np.add.at(full, index, np.asarray(grad))
+                self._accumulate(full)
+
+        return self._make_child(out_data, (self,), backward, "getitem")
+
+    def pad(self, pad_width, value=0.0):
+        """Pad with a constant ``value``.
+
+        ``pad_width`` follows :func:`numpy.pad` conventions (a sequence of
+        ``(before, after)`` pairs, one per dimension).
+        """
+        out_data = np.pad(self.data, pad_width, mode="constant", constant_values=value)
+        slices = tuple(slice(before, before + size) for (before, _), size in zip(pad_width, self.shape))
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(np.asarray(grad)[slices])
+
+        return self._make_child(out_data, (self,), backward, "pad")
+
+    @staticmethod
+    def concatenate(tensors, axis=0):
+        """Concatenate a sequence of tensors along ``axis``."""
+        tensors = [as_tensor(t) for t in tensors]
+        out_data = np.concatenate([t.data for t in tensors], axis=axis)
+        sizes = [t.shape[axis] for t in tensors]
+
+        def backward(grad):
+            grad = np.asarray(grad)
+            start = 0
+            for t, size in zip(tensors, sizes):
+                if t.requires_grad:
+                    idx = [slice(None)] * grad.ndim
+                    idx[axis] = slice(start, start + size)
+                    t._accumulate(grad[tuple(idx)])
+                start += size
+
+        requires = is_grad_enabled() and any(t.requires_grad for t in tensors)
+        out = Tensor(out_data, requires_grad=requires,
+                     _parents=tuple(tensors) if requires else (), _op="concat")
+        if requires:
+            out._backward = backward
+        return out
+
+    @staticmethod
+    def stack(tensors, axis=0):
+        """Stack a sequence of tensors along a new ``axis``."""
+        tensors = [as_tensor(t) for t in tensors]
+        out_data = np.stack([t.data for t in tensors], axis=axis)
+
+        def backward(grad):
+            grad = np.asarray(grad)
+            for i, t in enumerate(tensors):
+                if t.requires_grad:
+                    t._accumulate(np.take(grad, i, axis=axis))
+
+        requires = is_grad_enabled() and any(t.requires_grad for t in tensors)
+        out = Tensor(out_data, requires_grad=requires,
+                     _parents=tuple(tensors) if requires else (), _op="stack")
+        if requires:
+            out._backward = backward
+        return out
+
+    # ------------------------------------------------------------------ #
+    # softmax family (implemented here for numerical stability)
+    # ------------------------------------------------------------------ #
+    def softmax(self, axis=-1):
+        """Numerically stable softmax along ``axis``."""
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        exp = np.exp(shifted)
+        out_data = exp / exp.sum(axis=axis, keepdims=True)
+
+        def backward(grad):
+            if self.requires_grad:
+                grad = np.asarray(grad)
+                dot = (grad * out_data).sum(axis=axis, keepdims=True)
+                self._accumulate(out_data * (grad - dot))
+
+        return self._make_child(out_data, (self,), backward, "softmax")
+
+    def log_softmax(self, axis=-1):
+        """Log of the softmax along ``axis`` (numerically stable)."""
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        logsum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        out_data = shifted - logsum
+        softmax = np.exp(out_data)
+
+        def backward(grad):
+            if self.requires_grad:
+                grad = np.asarray(grad)
+                self._accumulate(grad - softmax * grad.sum(axis=axis, keepdims=True))
+
+        return self._make_child(out_data, (self,), backward, "log_softmax")

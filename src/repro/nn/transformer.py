@@ -1,0 +1,95 @@
+"""Transformer building blocks for the Easz reconstruction network.
+
+The paper (Fig. 5) describes encoder and decoder blocks each containing
+"three layernorms, one attention layer, and one feedforward layer".  We model
+that as a pre-norm transformer block: LayerNorm → attention → residual,
+LayerNorm → feed-forward → residual, followed by an output LayerNorm — three
+LayerNorms, one attention, one feed-forward per block.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .attention import MultiHeadSelfAttention
+from .layers import Dropout, GELU, LayerNorm, Linear, Module, Sequential
+
+__all__ = ["FeedForward", "TransformerBlock", "TransformerStack"]
+
+
+class FeedForward(Module):
+    """Position-wise feed-forward network: Linear → GELU → Linear."""
+
+    def __init__(self, d_model, hidden_mult=4, dropout=0.0, rng=None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        hidden = int(d_model * hidden_mult)
+        self.net = Sequential(
+            Linear(d_model, hidden, rng=rng),
+            GELU(),
+            Linear(hidden, d_model, rng=rng),
+            Dropout(dropout, rng=rng),
+        )
+
+    def forward(self, x):
+        return self.net(x)
+
+
+class TransformerBlock(Module):
+    """Pre-norm transformer block with three LayerNorms (paper Fig. 5).
+
+    Layout::
+
+        x = x + Attention(LN1(x))
+        x = x + FeedForward(LN2(x))
+        return LN3(x)
+    """
+
+    def __init__(self, d_model, num_heads, hidden_mult=4, dropout=0.0, rng=None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.norm_attn = LayerNorm(d_model)
+        self.attention = MultiHeadSelfAttention(d_model, num_heads, rng=rng)
+        self.norm_ff = LayerNorm(d_model)
+        self.feed_forward = FeedForward(d_model, hidden_mult, dropout, rng=rng)
+        self.norm_out = LayerNorm(d_model)
+
+    def forward(self, x, mask=None):
+        x = x + self.attention(self.norm_attn(x), mask=mask)
+        x = x + self.feed_forward(self.norm_ff(x))
+        return self.norm_out(x)
+
+    def flops(self, tokens, hidden_mult=4):
+        """Approximate forward FLOPs for a sequence of ``tokens`` tokens."""
+        d = self.attention.d_model
+        attn = self.attention.attention_flops(tokens)
+        ff = 2 * tokens * (d * d * hidden_mult) * 2
+        return attn + ff
+
+
+class TransformerStack(Module):
+    """A stack of :class:`TransformerBlock` applied in sequence."""
+
+    def __init__(self, num_blocks, d_model, num_heads, hidden_mult=4, dropout=0.0, rng=None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.num_blocks = num_blocks
+        self._block_names = []
+        for i in range(num_blocks):
+            name = f"block{i}"
+            setattr(self, name, TransformerBlock(d_model, num_heads, hidden_mult, dropout, rng=rng))
+            self._block_names.append(name)
+
+    def forward(self, x, mask=None):
+        for name in self._block_names:
+            x = getattr(self, name)(x, mask=mask)
+        return x
+
+    def blocks(self):
+        """Iterate over the contained :class:`TransformerBlock` modules."""
+        for name in self._block_names:
+            yield getattr(self, name)
+
+    def flops(self, tokens):
+        """Approximate forward FLOPs of the whole stack for ``tokens`` tokens."""
+        return sum(block.flops(tokens) for block in self.blocks())

@@ -1,0 +1,49 @@
+"""Super-resolution baseline interface (paper Table I / Fig. 4).
+
+The alternative edge-friendly pipeline the paper compares against is
+"downsample on the edge, super-resolve on the server".  A
+:class:`SuperResolver` therefore exposes both halves: :meth:`downsample`
+(what the edge would transmit) and :meth:`upscale` (what the server
+reconstructs), plus the model-size metadata used in Table I.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..image import downsample_box, to_float
+
+__all__ = ["SuperResolver"]
+
+
+class SuperResolver(ABC):
+    """Base class for ×`factor` super-resolution pipelines."""
+
+    #: Human-readable name used in Table I.
+    name = "sr"
+    #: Serialized model size in bytes (Table I row "Recon Model Size").
+    model_size_bytes = 0
+
+    def __init__(self, factor=2):
+        self.factor = int(factor)
+
+    def downsample(self, image):
+        """Edge-side reduction: anti-aliased box downsampling by ``factor``."""
+        return downsample_box(to_float(image), self.factor)
+
+    @abstractmethod
+    def upscale(self, image, output_shape):
+        """Server-side reconstruction of ``image`` to ``output_shape[:2]``."""
+
+    def roundtrip(self, image):
+        """Downsample then upscale; returns the reconstructed image."""
+        image = to_float(image)
+        low = self.downsample(image)
+        return self.upscale(low, image.shape)
+
+    def reduction_ratio(self):
+        """Pixel-count reduction achieved by the downsampling step."""
+        return 1.0 / (self.factor ** 2)
+
+    def __repr__(self):
+        return f"{self.__class__.__name__}(factor={self.factor})"

@@ -1,0 +1,73 @@
+"""Shared fixtures for the Easz reproduction test suite.
+
+Everything is kept deliberately small (tiny images, tiny models, few training
+steps) so the full suite runs in CPU-minutes; the benchmarks are where
+realistic scales live.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import EaszConfig, EaszReconstructor, EaszTrainer
+from repro.datasets import CifarLikeDataset, KodakDataset, SyntheticImageGenerator
+
+
+@pytest.fixture(scope="session")
+def rng():
+    """Session-wide deterministic random generator."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_config():
+    """Smallest useful Easz configuration (8×8 patches, 2×2 sub-patches)."""
+    return EaszConfig(patch_size=8, subpatch_size=2, erase_per_row=1,
+                      d_model=16, num_heads=2, encoder_blocks=1, decoder_blocks=1,
+                      ffn_mult=2, loss_lambda=0.0)
+
+
+@pytest.fixture(scope="session")
+def small_config():
+    """Test-scale Easz configuration matching the benchmark defaults."""
+    return EaszConfig(patch_size=16, subpatch_size=4, erase_per_row=1,
+                      d_model=32, num_heads=4, encoder_blocks=2, decoder_blocks=2,
+                      ffn_mult=2, loss_lambda=0.0)
+
+
+@pytest.fixture(scope="session")
+def gray_image():
+    """A 64×80 grayscale natural-looking image."""
+    generator = SyntheticImageGenerator(64, 80, color=False)
+    return generator.generate(7)
+
+
+@pytest.fixture(scope="session")
+def rgb_image():
+    """A 64×80 RGB natural-looking image."""
+    generator = SyntheticImageGenerator(64, 80, color=True)
+    return generator.generate(11)
+
+
+@pytest.fixture(scope="session")
+def kodak_small():
+    """Two small Kodak-like images for integration tests."""
+    return KodakDataset(num_images=2, height=64, width=96)
+
+
+@pytest.fixture(scope="session")
+def trained_tiny_model(tiny_config):
+    """A briefly trained reconstructor (enough to beat an untrained one)."""
+    dataset = CifarLikeDataset(num_images=128, size=tiny_config.patch_size, seed=5)
+    trainer = EaszTrainer(config=tiny_config, use_perceptual_loss=False)
+    trainer.pretrain(dataset, steps=60, batch_size=16)
+    return trainer.model
+
+
+@pytest.fixture(scope="session")
+def untrained_tiny_model(tiny_config):
+    """A freshly initialised reconstructor with the tiny configuration."""
+    model = EaszReconstructor(tiny_config)
+    model.eval()
+    return model

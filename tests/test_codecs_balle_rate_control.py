@@ -1,0 +1,137 @@
+"""Tests for the Ballé baseline proxies and base-codec rate control."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codecs import (
+    BalleFactorizedCodec,
+    BalleHyperpriorCodec,
+    ChengCodec,
+    MbtCodec,
+    QualitySelector,
+    available_codecs,
+    create_codec,
+    quality_grid,
+    select_quality_for_bpp,
+)
+from repro.metrics import psnr
+
+
+class TestBalleCodecs:
+    def test_registry_exposes_both_models(self):
+        names = available_codecs()
+        assert "balle-factorized" in names and "balle-hyperprior" in names
+
+    def test_create_codec_by_name(self):
+        codec = create_codec("balle-hyperprior", quality=5)
+        assert isinstance(codec, BalleHyperpriorCodec)
+        assert codec.quality == 5
+        assert quality_grid("balle-hyperprior")
+
+    def test_roundtrip_quality_is_reasonable(self, kodak_small):
+        image = kodak_small[0]
+        codec = BalleFactorizedCodec(quality=5)
+        reconstruction, compressed = codec.roundtrip(image)
+        assert reconstruction.shape == image.shape
+        assert psnr(image, reconstruction) > 26.0
+        assert 0.0 < compressed.bpp() < 8.0
+
+    def test_model_size_ordering_matches_fig1(self):
+        """Ballé-factorized < Ballé-hyperprior < MBT < Cheng in weight size."""
+        shape = (512, 768, 3)
+        sizes = [codec.encode_complexity(shape).model_bytes
+                 for codec in (BalleFactorizedCodec(), BalleHyperpriorCodec(),
+                               MbtCodec(), ChengCodec())]
+        assert sizes == sorted(sizes)
+        assert sizes[0] < sizes[-1]
+
+    def test_compute_cost_ordering_matches_fig1(self):
+        shape = (512, 768, 3)
+        macs = [codec.encode_complexity(shape).macs
+                for codec in (BalleFactorizedCodec(), BalleHyperpriorCodec(),
+                              MbtCodec(), ChengCodec())]
+        assert macs == sorted(macs)
+
+    def test_higher_quality_spends_more_bits(self, kodak_small):
+        image = kodak_small[0]
+        low = BalleHyperpriorCodec(quality=2).compress(image).bpp()
+        high = BalleHyperpriorCodec(quality=7).compress(image).bpp()
+        assert high > low
+
+    def test_codecs_are_neural(self):
+        assert BalleFactorizedCodec().is_neural
+        assert BalleHyperpriorCodec().is_neural
+
+
+class TestSelectQualityForBpp:
+    def test_closest_mode_minimises_rate_error(self, kodak_small):
+        image = kodak_small[0]
+        selection = select_quality_for_bpp("jpeg", image, target_bpp=0.8,
+                                           qualities=[10, 30, 50, 70, 90])
+        errors = [abs(bpp - 0.8) for _, bpp in selection.trace]
+        assert selection.error == pytest.approx(min(errors))
+
+    def test_under_mode_never_exceeds_target_when_possible(self, kodak_small):
+        image = kodak_small[0]
+        selection = select_quality_for_bpp("jpeg", image, target_bpp=1.0,
+                                           qualities=[10, 30, 50, 70, 90], prefer="under")
+        assert selection.achieved_bpp <= 1.0
+
+    def test_under_mode_falls_back_to_cheapest(self, kodak_small):
+        image = kodak_small[0]
+        selection = select_quality_for_bpp("jpeg", image, target_bpp=1e-4,
+                                           qualities=[50, 90], prefer="under")
+        cheapest = min(bpp for _, bpp in selection.trace)
+        assert selection.achieved_bpp == pytest.approx(cheapest)
+
+    def test_multiple_probe_images_are_averaged(self, kodak_small):
+        selection = select_quality_for_bpp("jpeg", list(kodak_small), target_bpp=0.8,
+                                           qualities=[50])
+        per_image = [create_codec("jpeg", quality=50).compress(img).bpp()
+                     for img in kodak_small]
+        assert selection.achieved_bpp == pytest.approx(float(np.mean(per_image)))
+
+    def test_default_grid_is_used_when_none_given(self, kodak_small):
+        selection = select_quality_for_bpp("jpeg", kodak_small[0], target_bpp=0.8)
+        assert selection.evaluations == len(quality_grid("jpeg"))
+
+    def test_invalid_arguments_are_rejected(self, kodak_small):
+        with pytest.raises(ValueError):
+            select_quality_for_bpp("jpeg", kodak_small[0], target_bpp=0.0)
+        with pytest.raises(ValueError):
+            select_quality_for_bpp("jpeg", kodak_small[0], target_bpp=0.5, prefer="above")
+        with pytest.raises(ValueError):
+            select_quality_for_bpp("jpeg", [], target_bpp=0.5)
+        with pytest.raises(KeyError):
+            select_quality_for_bpp("definitely-not-a-codec", kodak_small[0], target_bpp=0.5)
+
+
+class TestQualitySelector:
+    def test_results_are_cached(self, kodak_small, monkeypatch):
+        selector = QualitySelector(kodak_small[0])
+        first = selector.select("jpeg", 0.8, qualities=[30, 60])
+        calls = {"count": 0}
+
+        def exploding(*args, **kwargs):  # pragma: no cover - would fail the test
+            calls["count"] += 1
+            raise AssertionError("cache miss")
+
+        monkeypatch.setattr("repro.codecs.rate_control.select_quality_for_bpp", exploding)
+        second = selector.select("jpeg", 0.8, qualities=[30, 60])
+        assert second is first
+        assert calls["count"] == 0
+
+    def test_codec_for_instantiates_selected_quality(self, kodak_small):
+        selector = QualitySelector(kodak_small[0])
+        codec, selection = selector.codec_for("jpeg", 0.8, qualities=[30, 60, 90])
+        assert str(selection.quality) in codec.name
+        assert codec.compress(kodak_small[0]).bpp() == pytest.approx(selection.achieved_bpp,
+                                                                     rel=1e-6)
+
+    def test_distinct_targets_get_distinct_entries(self, kodak_small):
+        selector = QualitySelector(kodak_small[0])
+        low = selector.select("jpeg", 0.4, qualities=[10, 30, 60, 90])
+        high = selector.select("jpeg", 1.5, qualities=[10, 30, 60, 90])
+        assert low.achieved_bpp <= high.achieved_bpp

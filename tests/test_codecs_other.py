@@ -1,0 +1,209 @@
+"""Tests for the BPG proxy, learned-codec proxies, PNG codec and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.codecs import (
+    BpgCodec,
+    ChengCodec,
+    JpegCodec,
+    LearnedTransformCodec,
+    MbtCodec,
+    PngCodec,
+    available_codecs,
+    create_codec,
+    quality_grid,
+)
+from repro.image import to_uint8
+from repro.metrics import psnr
+
+
+@pytest.fixture(scope="module")
+def small_gray():
+    """A 48×64 grayscale image (kept small because BPG coding is per-block)."""
+    from repro.datasets import SyntheticImageGenerator
+    return SyntheticImageGenerator(48, 64, color=False).generate(3)
+
+
+@pytest.fixture(scope="module")
+def small_rgb():
+    from repro.datasets import SyntheticImageGenerator
+    return SyntheticImageGenerator(48, 64, color=True).generate(4)
+
+
+class TestBpgCodec:
+    def test_grayscale_roundtrip(self, small_gray):
+        codec = BpgCodec(qp=30)
+        reconstruction, compressed = codec.roundtrip(small_gray)
+        assert reconstruction.shape == small_gray.shape
+        assert psnr(small_gray, reconstruction) > 28.0
+        assert 0 < compressed.bpp() < 8
+
+    def test_color_roundtrip(self, small_rgb):
+        codec = BpgCodec(qp=32)
+        reconstruction, _ = codec.roundtrip(small_rgb)
+        assert reconstruction.shape == small_rgb.shape
+        assert psnr(small_rgb, reconstruction) > 24.0
+
+    def test_qp_controls_rate(self, small_gray):
+        fine = BpgCodec(qp=22).compress(small_gray)
+        coarse = BpgCodec(qp=42).compress(small_gray)
+        assert fine.num_bytes > coarse.num_bytes
+
+    def test_qp_controls_distortion(self, small_gray):
+        rec_fine, _ = BpgCodec(qp=22).roundtrip(small_gray)
+        rec_coarse, _ = BpgCodec(qp=42).roundtrip(small_gray)
+        assert psnr(small_gray, rec_fine) > psnr(small_gray, rec_coarse)
+
+    def test_competitive_with_jpeg_under_a_byte_budget(self, small_gray):
+        """Best PSNR achievable under a fixed byte budget: the HEVC-intra
+        ingredients (prediction + adaptive arithmetic coding) should keep the
+        proxy within a fraction of a dB of JPEG on natural content."""
+        budget = JpegCodec(quality=75).compress(small_gray).num_bytes
+        best_jpeg = max(
+            psnr(small_gray, JpegCodec(quality=q).roundtrip(small_gray)[0])
+            for q in (30, 50, 60, 75)
+            if JpegCodec(quality=q).compress(small_gray).num_bytes <= budget
+        )
+        best_bpg = max(
+            (psnr(small_gray, rec), comp.num_bytes)
+            for qp in (26, 30, 34, 38, 42)
+            for rec, comp in [BpgCodec(qp=qp).roundtrip(small_gray)]
+            if comp.num_bytes <= budget
+        )[0]
+        assert best_bpg >= best_jpeg - 0.75
+
+    def test_foreign_payload_rejected(self, small_gray):
+        codec = BpgCodec()
+        compressed = codec.compress(small_gray)
+        compressed.payload = b"ZZZZ" + compressed.payload[4:]
+        with pytest.raises(ValueError):
+            codec.decompress(compressed)
+
+    def test_complexity_profiles(self):
+        codec = BpgCodec()
+        encode = codec.encode_complexity((64, 64))
+        decode = codec.decode_complexity((64, 64))
+        assert encode.macs > decode.macs
+        assert not encode.uses_gpu
+
+
+class TestLearnedCodecs:
+    @pytest.mark.parametrize("codec_cls", [MbtCodec, ChengCodec])
+    def test_roundtrip(self, codec_cls, small_gray):
+        codec = codec_cls(quality=4)
+        reconstruction, compressed = codec.roundtrip(small_gray)
+        assert reconstruction.shape == small_gray.shape
+        assert psnr(small_gray, reconstruction) > 25.0
+        assert 0 < compressed.bpp() < 8
+
+    def test_color_roundtrip(self, small_rgb):
+        reconstruction, _ = MbtCodec(quality=5).roundtrip(small_rgb)
+        assert reconstruction.shape == small_rgb.shape
+
+    def test_quality_index_controls_rate(self, small_gray):
+        low = MbtCodec(quality=2).compress(small_gray)
+        high = MbtCodec(quality=6).compress(small_gray)
+        assert high.num_bytes > low.num_bytes
+
+    def test_quality_index_controls_distortion(self, small_gray):
+        rec_low, _ = MbtCodec(quality=2).roundtrip(small_gray)
+        rec_high, _ = MbtCodec(quality=6).roundtrip(small_gray)
+        assert psnr(small_gray, rec_high) > psnr(small_gray, rec_low)
+
+    def test_quality_clamped_to_valid_range(self):
+        assert MbtCodec(quality=99).quality == 8
+        assert MbtCodec(quality=-3).quality == 1
+
+    def test_entropy_model_validation(self):
+        with pytest.raises(ValueError):
+            LearnedTransformCodec(entropy_model="nonsense")
+
+    @pytest.mark.parametrize("entropy_model", ["factorized", "hyperprior", "context"])
+    def test_all_entropy_models_roundtrip(self, entropy_model, small_gray):
+        codec = LearnedTransformCodec(quality=4, entropy_model=entropy_model,
+                                      name=f"lt-{entropy_model}")
+        reconstruction, compressed = codec.roundtrip(small_gray)
+        assert reconstruction.shape == small_gray.shape
+        assert psnr(small_gray, reconstruction) > 25.0
+        assert compressed.num_bytes > 0
+
+    def test_neural_flag_and_complexity(self):
+        codec = ChengCodec(quality=4)
+        assert codec.is_neural
+        profile = codec.encode_complexity((512, 768, 3))
+        assert profile.uses_gpu
+        assert profile.model_bytes > 50 * 2 ** 20
+        assert profile.macs > 1e11
+
+    def test_mbt_cheaper_than_cheng_bitstream_not_required(self):
+        """Cheng has the larger published model; MBT the lighter one."""
+        assert MbtCodec().model_bytes < ChengCodec().model_bytes
+
+    def test_train_steps_reduces_rd_objective(self, small_gray):
+        from repro.datasets import extract_patches
+        codec = MbtCodec(quality=4)
+        patches = extract_patches(small_gray, 8)[:64]
+        losses = codec.train_steps(patches, steps=15, lr=5e-4)
+        assert losses[-1] < losses[0]
+
+    def test_roundtrip_still_works_after_training(self, small_gray):
+        from repro.datasets import extract_patches
+        codec = MbtCodec(quality=4)
+        codec.train_steps(extract_patches(small_gray, 8)[:32], steps=5)
+        reconstruction, _ = codec.roundtrip(small_gray)
+        assert reconstruction.shape == small_gray.shape
+
+
+class TestPngCodec:
+    def test_lossless_grayscale(self, small_gray):
+        codec = PngCodec()
+        reconstruction, compressed = codec.roundtrip(small_gray)
+        assert np.array_equal(to_uint8(reconstruction), to_uint8(small_gray))
+        assert compressed.num_bytes > 0
+
+    def test_lossless_color(self, small_rgb):
+        reconstruction, _ = PngCodec().roundtrip(small_rgb)
+        assert np.array_equal(to_uint8(reconstruction), to_uint8(small_rgb))
+
+    def test_compresses_smooth_content(self):
+        image = np.tile(np.linspace(0, 1, 64), (64, 1))
+        compressed = PngCodec().compress(image)
+        assert compressed.num_bytes < 64 * 64  # < 1 byte/pixel on smooth ramps
+
+    def test_foreign_payload_rejected(self, small_gray):
+        codec = PngCodec()
+        compressed = codec.compress(small_gray)
+        compressed.payload = b"ABCD" + compressed.payload[4:]
+        with pytest.raises(ValueError):
+            codec.decompress(compressed)
+
+
+class TestRegistry:
+    def test_available_codecs(self):
+        names = available_codecs()
+        assert {"jpeg", "bpg", "mbt", "cheng", "png"} <= set(names)
+
+    def test_create_by_name_with_quality(self):
+        assert isinstance(create_codec("jpeg", 50), JpegCodec)
+        assert create_codec("jpeg", 50).quality == 50
+        assert isinstance(create_codec("bpg", 30), BpgCodec)
+        assert create_codec("bpg", 30).qp == 30
+        assert isinstance(create_codec("mbt", 3), MbtCodec)
+        assert isinstance(create_codec("cheng", 3), ChengCodec)
+
+    def test_create_default_quality(self):
+        assert isinstance(create_codec("png"), PngCodec)
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(KeyError):
+            create_codec("h266")
+
+    def test_quality_grid_available_for_sweepable_codecs(self):
+        for name in ("jpeg", "bpg", "mbt", "cheng"):
+            grid = quality_grid(name)
+            assert len(grid) >= 5
+
+    def test_quality_grid_unknown_codec(self):
+        with pytest.raises(KeyError):
+            quality_grid("png2")

@@ -1,0 +1,138 @@
+"""Tests for the adaptive compression-level controllers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codecs import JpegCodec
+from repro.core import (
+    BandwidthAdaptiveController,
+    BitrateController,
+    EaszConfig,
+    EraseRatioSchedule,
+)
+from repro.edge import WirelessChannel
+
+
+@pytest.fixture(scope="module")
+def config():
+    return EaszConfig(patch_size=16, subpatch_size=4, erase_per_row=1,
+                      d_model=32, num_heads=4, encoder_blocks=1, decoder_blocks=1,
+                      ffn_mult=2, loss_lambda=0.0)
+
+
+@pytest.fixture(scope="module")
+def controller(config):
+    return BitrateController(config, JpegCodec(quality=80))
+
+
+class TestBitrateController:
+    def test_bpp_decreases_with_erase_level(self, controller, kodak_small):
+        image = kodak_small[0]
+        bpps = [controller.measure(image, level)[1] for level in range(4)]
+        assert all(later < earlier for earlier, later in zip(bpps, bpps[1:]))
+
+    def test_select_prefers_least_erasure(self, controller, kodak_small):
+        image = kodak_small[0]
+        bpp_no_erase = controller.measure(image, 0)[1]
+        result = controller.select(image, target_bpp=bpp_no_erase + 0.1)
+        assert result.erase_per_row == 0
+        assert result.met_target
+
+    def test_select_meets_reachable_target(self, controller, kodak_small):
+        image = kodak_small[0]
+        bpp_max_erase = controller.measure(image, 3)[1]
+        result = controller.select(image, target_bpp=bpp_max_erase + 0.05)
+        assert result.met_target
+        assert result.achieved_bpp <= bpp_max_erase + 0.05
+
+    def test_unreachable_target_returns_max_level(self, controller, kodak_small):
+        result = controller.select(kodak_small[0], target_bpp=1e-4)
+        assert result.erase_per_row == controller.max_erase_per_row
+        assert not result.met_target
+
+    def test_candidates_are_recorded(self, controller, kodak_small):
+        result = controller.select(kodak_small[0], target_bpp=1e-4)
+        assert result.evaluations == len(result.candidates) == 4
+
+    def test_rejects_non_positive_target(self, controller, kodak_small):
+        with pytest.raises(ValueError):
+            controller.select(kodak_small[0], target_bpp=0.0)
+
+    def test_config_for_returns_tuned_config(self, controller, kodak_small):
+        tuned, result = controller.config_for(kodak_small[0], target_bpp=0.9)
+        assert tuned.erase_per_row == result.erase_per_row
+        assert tuned.patch_size == controller.config.patch_size
+
+    def test_max_erase_per_row_is_clamped(self, config):
+        clamped = BitrateController(config, JpegCodec(quality=80), max_erase_per_row=99)
+        assert clamped.max_erase_per_row == config.grid_size - 1
+
+
+class TestBandwidthAdaptiveController:
+    def test_byte_budget_scales_with_deadline(self, config):
+        channel = WirelessChannel(bandwidth_mbps=8.0, per_transfer_overhead_ms=100.0)
+        controller = BandwidthAdaptiveController(channel, config, JpegCodec(quality=80))
+        assert controller.byte_budget(300.0) > controller.byte_budget(150.0)
+
+    def test_budget_is_zero_below_overhead(self, config):
+        channel = WirelessChannel(per_transfer_overhead_ms=120.0)
+        controller = BandwidthAdaptiveController(channel, config, JpegCodec(quality=80))
+        assert controller.byte_budget(100.0) == 0
+
+    def test_select_raises_for_impossible_deadline(self, config, kodak_small):
+        channel = WirelessChannel(per_transfer_overhead_ms=120.0)
+        controller = BandwidthAdaptiveController(channel, config, JpegCodec(quality=80))
+        with pytest.raises(ValueError, match="deadline"):
+            controller.select(kodak_small[0], deadline_ms=50.0)
+
+    def test_tighter_deadline_needs_more_erasure(self, config, kodak_small):
+        channel = WirelessChannel(bandwidth_mbps=0.6, per_transfer_overhead_ms=50.0)
+        controller = BandwidthAdaptiveController(channel, config, JpegCodec(quality=90))
+        relaxed = controller.select(kodak_small[0], deadline_ms=2000.0)
+        tight = controller.select(kodak_small[0], deadline_ms=200.0)
+        assert tight.erase_per_row >= relaxed.erase_per_row
+
+    def test_loss_factor_shrinks_budget(self, config):
+        lossless = WirelessChannel(loss_retransmission_factor=1.0)
+        lossy = WirelessChannel(loss_retransmission_factor=1.5)
+        a = BandwidthAdaptiveController(lossless, config, JpegCodec())
+        b = BandwidthAdaptiveController(lossy, config, JpegCodec())
+        assert b.byte_budget(400.0) < a.byte_budget(400.0)
+
+
+class TestEraseRatioSchedule:
+    def test_update_moves_throughput_towards_observation(self, config):
+        schedule = EraseRatioSchedule(config, initial_throughput_bps=1e6, smoothing=0.5,
+                                      overhead_ms=0.0)
+        schedule.update(transmitted_bytes=125_000, observed_ms=1000.0)  # 1 Mbps observed
+        assert schedule.throughput_bps == pytest.approx(1e6, rel=1e-6)
+        schedule.update(transmitted_bytes=250_000, observed_ms=1000.0)  # 2 Mbps observed
+        assert 1e6 < schedule.throughput_bps < 2e6
+
+    def test_history_is_recorded(self, config):
+        schedule = EraseRatioSchedule(config)
+        schedule.update(10_000, 200.0)
+        schedule.update(12_000, 180.0)
+        assert len(schedule.history) == 2
+        assert schedule.history[0]["bytes"] == 10_000
+
+    def test_byte_budget_uses_deadline_minus_overhead(self, config):
+        schedule = EraseRatioSchedule(config, frame_deadline_ms=500.0, overhead_ms=100.0,
+                                      initial_throughput_bps=8e6)
+        assert schedule.byte_budget() == int(8e6 * 0.4 / 8.0)
+
+    def test_erase_level_increases_when_throughput_drops(self, config):
+        schedule = EraseRatioSchedule(config, frame_deadline_ms=400.0, overhead_ms=100.0,
+                                      initial_throughput_bps=20e6, smoothing=1.0)
+        density = 0.2  # bytes per pixel at zero erase
+        generous = schedule.erase_per_row_for((128, 192, 3), density)
+        schedule.update(transmitted_bytes=5_000, observed_ms=600.0)  # throughput collapses
+        constrained = schedule.erase_per_row_for((128, 192, 3), density)
+        assert constrained >= generous
+        assert 0 <= constrained <= config.grid_size - 1
+
+    def test_zero_density_requires_no_erasure(self, config):
+        schedule = EraseRatioSchedule(config)
+        assert schedule.erase_per_row_for((64, 64), 0.0) == 0

@@ -1,0 +1,169 @@
+"""Tests for the end-to-end Easz pipeline (encoder, decoder, codec wrapper)."""
+
+import numpy as np
+import pytest
+
+from repro.codecs import JpegCodec, PngCodec
+from repro.core import EaszCodec, EaszConfig, EaszDecoder, EaszEncoder, proposed_mask
+from repro.metrics import psnr
+
+
+class TestEaszEncoder:
+    def test_encode_produces_smaller_payload_than_plain_codec(self, tiny_config, gray_image):
+        base = JpegCodec(quality=80)
+        encoder = EaszEncoder(tiny_config, base, seed=0)
+        package = encoder.encode(gray_image)
+        plain = base.compress(gray_image)
+        assert package.codec_payload.num_bytes < plain.num_bytes
+
+    def test_package_fields(self, tiny_config, gray_image):
+        encoder = EaszEncoder(tiny_config, JpegCodec(quality=80), seed=0)
+        package = encoder.encode(gray_image)
+        assert package.original_shape == gray_image.shape
+        assert package.squeezed_shape[1] < gray_image.shape[1]
+        assert package.config_summary["base_codec"].startswith("jpeg")
+        assert package.num_bytes == package.codec_payload.num_bytes + len(package.mask_bytes)
+        assert package.bpp() > 0
+
+    def test_mask_strategy_validation(self, tiny_config):
+        with pytest.raises(ValueError):
+            EaszEncoder(tiny_config, mask_strategy="diagonal-ish")
+
+    def test_generate_mask_respects_strategy(self, tiny_config):
+        proposed_encoder = EaszEncoder(tiny_config, mask_strategy="proposed", seed=0)
+        random_encoder = EaszEncoder(tiny_config, mask_strategy="random", seed=0)
+        for encoder in (proposed_encoder, random_encoder):
+            mask = encoder.generate_mask()
+            assert mask.shape == (tiny_config.grid_size, tiny_config.grid_size)
+            assert (mask == 0).sum() == tiny_config.erase_per_row * tiny_config.grid_size
+
+    def test_zero_erase_keeps_everything(self, gray_image):
+        config = EaszConfig(patch_size=8, subpatch_size=2, erase_per_row=0,
+                            d_model=16, num_heads=2, encoder_blocks=1, decoder_blocks=1)
+        encoder = EaszEncoder(config, JpegCodec(quality=80), seed=0)
+        mask = encoder.generate_mask()
+        assert mask.all()
+
+    def test_explicit_mask_is_used(self, tiny_config, gray_image):
+        encoder = EaszEncoder(tiny_config, JpegCodec(quality=80), seed=0)
+        mask = proposed_mask(tiny_config.grid_size, 1, seed=42)
+        package = encoder.encode(gray_image, mask=mask)
+        from repro.core import deserialize_mask
+        assert np.array_equal(deserialize_mask(package.mask_bytes), mask)
+
+    def test_complexity_split(self, tiny_config):
+        encoder = EaszEncoder(tiny_config, JpegCodec(quality=80))
+        squeeze, base = encoder.complexity((64, 96))
+        assert squeeze.macs < base.macs
+        assert squeeze.model_bytes == 0
+        assert not squeeze.uses_gpu
+
+
+class TestEaszDecoder:
+    def test_decode_without_reconstruction_returns_filled_image(self, tiny_config, gray_image,
+                                                                 untrained_tiny_model):
+        base = JpegCodec(quality=85)
+        encoder = EaszEncoder(tiny_config, base, seed=0)
+        decoder = EaszDecoder(model=untrained_tiny_model, config=tiny_config, base_codec=base)
+        package = encoder.encode(gray_image)
+        filled = decoder.decode(package, reconstruct=False)
+        assert filled.shape == gray_image.shape
+        # zero-filled image has visibly lower fidelity than the reconstructed one
+        reconstructed = decoder.decode(package)
+        assert reconstructed.shape == gray_image.shape
+
+    def test_neighbor_fill_mode(self, tiny_config, gray_image, untrained_tiny_model):
+        base = JpegCodec(quality=85)
+        encoder = EaszEncoder(tiny_config, base, seed=0)
+        decoder = EaszDecoder(model=untrained_tiny_model, config=tiny_config,
+                              base_codec=base, fill="neighbor")
+        package = encoder.encode(gray_image)
+        filled = decoder.decode(package, reconstruct=False)
+        assert psnr(gray_image, filled) > 15.0
+
+    def test_decoder_complexity(self, tiny_config, untrained_tiny_model):
+        decoder = EaszDecoder(model=untrained_tiny_model, config=tiny_config,
+                              base_codec=JpegCodec())
+        decode, reconstruction = decoder.complexity((64, 96))
+        assert reconstruction.uses_gpu
+        assert reconstruction.model_bytes == untrained_tiny_model.model_size_bytes()
+        assert reconstruction.macs > decode.macs
+
+
+class TestEaszCodec:
+    def test_roundtrip_shapes_gray_and_color(self, tiny_config, gray_image, rgb_image,
+                                             trained_tiny_model):
+        codec = EaszCodec(config=tiny_config, base_codec=JpegCodec(quality=85),
+                          model=trained_tiny_model, seed=0)
+        for image in (gray_image, rgb_image):
+            reconstruction, compressed = codec.roundtrip(image)
+            assert reconstruction.shape == image.shape
+            assert reconstruction.min() >= 0.0 and reconstruction.max() <= 1.0
+
+    def test_name_combines_base_codec(self, tiny_config):
+        codec = EaszCodec(config=tiny_config, base_codec=JpegCodec(quality=60))
+        assert codec.name == "jpeg-q60+easz"
+
+    def test_bpp_lower_than_plain_base_codec(self, tiny_config, gray_image, trained_tiny_model):
+        base = JpegCodec(quality=85)
+        codec = EaszCodec(config=tiny_config, base_codec=base, model=trained_tiny_model, seed=0)
+        _, compressed = codec.roundtrip(gray_image)
+        _, plain = base.roundtrip(gray_image)
+        assert compressed.bpp() < plain.bpp()
+
+    def test_extra_bytes_accounts_for_mask(self, tiny_config, gray_image):
+        codec = EaszCodec(config=tiny_config, base_codec=JpegCodec(quality=85), seed=0)
+        compressed = codec.compress(gray_image)
+        assert compressed.extra_bytes > 0
+        assert compressed.num_bytes == len(compressed.payload) + compressed.extra_bytes
+
+    def test_reasonable_quality_with_trained_model(self, tiny_config, gray_image,
+                                                   trained_tiny_model):
+        codec = EaszCodec(config=tiny_config, base_codec=JpegCodec(quality=85),
+                          model=trained_tiny_model, seed=0)
+        reconstruction, _ = codec.roundtrip(gray_image)
+        assert psnr(gray_image, reconstruction) > 18.0
+
+    def test_works_with_lossless_base_codec(self, tiny_config, gray_image, trained_tiny_model):
+        """Easz 'functioning independently': squeezed image sent losslessly."""
+        codec = EaszCodec(config=tiny_config, base_codec=PngCodec(),
+                          model=trained_tiny_model, seed=0)
+        reconstruction, compressed = codec.roundtrip(gray_image)
+        assert reconstruction.shape == gray_image.shape
+        assert compressed.bpp() > 0
+
+    def test_higher_erase_ratio_saves_more_bits(self, gray_image, trained_tiny_model):
+        base = JpegCodec(quality=85)
+        low = EaszConfig(patch_size=8, subpatch_size=2, erase_per_row=1,
+                         d_model=16, num_heads=2, encoder_blocks=1, decoder_blocks=1)
+        high = EaszConfig(patch_size=8, subpatch_size=2, erase_per_row=2,
+                          d_model=16, num_heads=2, encoder_blocks=1, decoder_blocks=1)
+        bpp_low = EaszCodec(config=low, base_codec=base, model=trained_tiny_model,
+                            seed=0).compress(gray_image).bpp()
+        bpp_high = EaszCodec(config=high, base_codec=base, model=trained_tiny_model,
+                             seed=0).compress(gray_image).bpp()
+        assert bpp_high < bpp_low
+
+    def test_random_mask_strategy_roundtrip(self, tiny_config, gray_image, trained_tiny_model):
+        codec = EaszCodec(config=tiny_config, base_codec=JpegCodec(quality=85),
+                          model=trained_tiny_model, mask_strategy="random", seed=0)
+        reconstruction, _ = codec.roundtrip(gray_image)
+        assert reconstruction.shape == gray_image.shape
+
+    def test_edge_complexity_has_no_model_and_no_gpu(self, tiny_config):
+        codec = EaszCodec(config=tiny_config, base_codec=JpegCodec(quality=75))
+        profile = codec.encode_complexity((512, 768, 3))
+        assert profile.model_bytes == 0
+        assert not profile.uses_gpu
+
+    def test_decode_complexity_includes_reconstruction_model(self, tiny_config):
+        codec = EaszCodec(config=tiny_config, base_codec=JpegCodec(quality=75))
+        profile = codec.decode_complexity((512, 768, 3))
+        assert profile.uses_gpu
+        assert profile.model_bytes >= codec.model.model_size_bytes()
+
+    def test_edge_encode_much_cheaper_than_neural_codec(self, tiny_config):
+        from repro.codecs import MbtCodec
+        easz = EaszCodec(config=tiny_config, base_codec=JpegCodec(quality=75))
+        shape = (512, 768, 3)
+        assert easz.encode_complexity(shape).macs < MbtCodec().encode_complexity(shape).macs / 100

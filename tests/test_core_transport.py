@@ -1,0 +1,130 @@
+"""Tests for the Easz transport container (wire format + file round-trips)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codecs import JpegCodec, PngCodec
+from repro.core import (
+    EaszDecoder,
+    EaszEncoder,
+    load_package,
+    pack_compressed,
+    pack_package,
+    save_package,
+    unpack_compressed,
+    unpack_package,
+)
+from repro.core.transport import _CIMG_MAGIC, _EASZ_MAGIC  # noqa: F401  (format constants)
+
+
+@pytest.fixture(scope="module")
+def easz_package(small_config, kodak_small):
+    encoder = EaszEncoder(small_config, JpegCodec(quality=80), seed=0)
+    return encoder.encode(kodak_small[0]), kodak_small[0]
+
+
+class TestCompressedImageContainer:
+    def test_roundtrip_preserves_fields(self, kodak_small):
+        compressed = JpegCodec(quality=70).compress(kodak_small[0])
+        restored = unpack_compressed(pack_compressed(compressed))
+        assert restored.payload == compressed.payload
+        assert restored.original_shape == compressed.original_shape
+        assert restored.codec_name == compressed.codec_name
+        assert restored.extra_bytes == compressed.extra_bytes
+
+    def test_roundtrip_decodes_to_same_pixels(self, kodak_small):
+        codec = JpegCodec(quality=70)
+        compressed = codec.compress(kodak_small[0])
+        direct = codec.decompress(compressed)
+        via_container = codec.decompress(unpack_compressed(pack_compressed(compressed)))
+        assert np.allclose(direct, via_container)
+
+    def test_png_metadata_survives(self, gray_image):
+        codec = PngCodec()
+        compressed = codec.compress(gray_image)
+        restored = unpack_compressed(pack_compressed(compressed))
+        assert restored.metadata == compressed.metadata
+
+    def test_container_overhead_is_small(self, kodak_small):
+        compressed = JpegCodec(quality=70).compress(kodak_small[0])
+        container = pack_compressed(compressed)
+        assert len(container) < len(compressed.payload) + 600
+
+    def test_rejects_unserialisable_metadata(self, kodak_small):
+        compressed = JpegCodec(quality=70).compress(kodak_small[0])
+        compressed.metadata["array"] = np.zeros(3)
+        with pytest.raises(ValueError, match="JSON"):
+            pack_compressed(compressed)
+
+    def test_rejects_wrong_magic_and_truncation(self, kodak_small):
+        compressed = JpegCodec(quality=70).compress(kodak_small[0])
+        container = pack_compressed(compressed)
+        with pytest.raises(ValueError):
+            unpack_compressed(b"XXXX" + container[4:])
+        with pytest.raises(ValueError):
+            unpack_compressed(container[: len(container) // 2])
+
+
+class TestEaszPackageContainer:
+    def test_roundtrip_preserves_all_fields(self, easz_package):
+        package, _ = easz_package
+        restored = unpack_package(pack_package(package))
+        assert restored.mask_bytes == package.mask_bytes
+        assert restored.codec_payload.payload == package.codec_payload.payload
+        assert restored.grid_shape == package.grid_shape
+        assert restored.original_shape == package.original_shape
+        assert restored.squeezed_shape == package.squeezed_shape
+        assert restored.config_summary == package.config_summary
+        assert restored.num_bytes == package.num_bytes
+
+    def test_restored_package_decodes_identically(self, easz_package, small_config,
+                                                  trained_tiny_model):
+        package, image = easz_package
+        decoder = EaszDecoder(config=small_config, base_codec=JpegCodec(quality=80))
+        direct = decoder.decode(package, reconstruct=False)
+        restored = decoder.decode(unpack_package(pack_package(package)), reconstruct=False)
+        assert np.allclose(direct, restored)
+
+    def test_unpack_rejects_version_and_truncation(self, easz_package):
+        package, _ = easz_package
+        container = bytearray(pack_package(package))
+        bad_version = bytes(container[:4]) + b"\x09" + bytes(container[5:])
+        with pytest.raises(ValueError, match="version"):
+            unpack_package(bad_version)
+        with pytest.raises(ValueError, match="truncated"):
+            unpack_package(bytes(container[:-50]))
+
+    def test_unpack_rejects_cimg_container(self, kodak_small):
+        compressed = JpegCodec(quality=70).compress(kodak_small[0])
+        with pytest.raises(ValueError):
+            unpack_package(pack_compressed(compressed))
+
+
+class TestFileHelpers:
+    def test_save_and_load_easz_package(self, easz_package, tmp_path):
+        package, _ = easz_package
+        path = tmp_path / "frame.easz"
+        size = save_package(package, path)
+        assert size == path.stat().st_size
+        loaded = load_package(path)
+        assert loaded.mask_bytes == package.mask_bytes
+        assert loaded.codec_payload.payload == package.codec_payload.payload
+
+    def test_save_and_load_compressed_image(self, kodak_small, tmp_path):
+        compressed = JpegCodec(quality=70).compress(kodak_small[0])
+        path = tmp_path / "frame.cimg"
+        save_package(compressed, path)
+        loaded = load_package(path)
+        assert loaded.payload == compressed.payload
+
+    def test_save_rejects_unknown_objects(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_package({"not": "a package"}, tmp_path / "bad.bin")
+
+    def test_load_rejects_foreign_files(self, tmp_path):
+        path = tmp_path / "foreign.bin"
+        path.write_bytes(b"JUNKJUNKJUNK")
+        with pytest.raises(ValueError):
+            load_package(path)

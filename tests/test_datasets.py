@@ -1,0 +1,142 @@
+"""Tests for the synthetic dataset stand-ins and patch loaders."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    CifarLikeDataset,
+    ClicDataset,
+    ImageDataset,
+    KodakDataset,
+    PatchBatcher,
+    SyntheticImageGenerator,
+    extract_patches,
+)
+
+
+class TestSyntheticGenerator:
+    def test_output_shape_and_range_color(self):
+        generator = SyntheticImageGenerator(64, 96, color=True)
+        image = generator.generate(0)
+        assert image.shape == (64, 96, 3)
+        assert image.min() >= 0.0 and image.max() <= 1.0
+
+    def test_output_shape_gray(self):
+        image = SyntheticImageGenerator(48, 48, color=False).generate(1)
+        assert image.shape == (48, 48)
+
+    def test_deterministic_for_same_seed(self):
+        generator = SyntheticImageGenerator(32, 32, color=True)
+        assert np.array_equal(generator.generate(5), generator.generate(5))
+
+    def test_different_seeds_differ(self):
+        generator = SyntheticImageGenerator(32, 32, color=False)
+        assert not np.array_equal(generator.generate(1), generator.generate(2))
+
+    def test_images_have_natural_dynamic_range(self):
+        image = SyntheticImageGenerator(64, 64, color=False).generate(3)
+        assert image.std() > 0.05
+        assert 0.2 < image.mean() < 0.8
+
+    def test_images_are_locally_correlated(self):
+        """Natural images have strong neighbour correlation — the property the
+        Easz reconstruction relies on."""
+        image = SyntheticImageGenerator(64, 64, color=False).generate(4)
+        horizontal = np.corrcoef(image[:, :-1].ravel(), image[:, 1:].ravel())[0, 1]
+        assert horizontal > 0.8
+
+
+class TestEvaluationDatasets:
+    def test_kodak_profile(self):
+        dataset = KodakDataset(num_images=3, height=64, width=96)
+        assert len(dataset) == 3
+        image = dataset[0]
+        assert image.shape == (64, 96, 3)
+
+    def test_kodak_default_has_24_images(self):
+        assert len(KodakDataset()) == 24
+
+    def test_kodak_full_resolution_flag(self):
+        dataset = KodakDataset(num_images=1, full_resolution=True)
+        assert (dataset.height, dataset.width) == (512, 768)
+
+    def test_clic_profile_is_larger_than_kodak(self):
+        clic = ClicDataset(num_images=1)
+        kodak = KodakDataset(num_images=1)
+        assert clic.height * clic.width > kodak.height * kodak.width
+
+    def test_cifar_like_crops(self):
+        dataset = CifarLikeDataset(num_images=16, size=32)
+        image = dataset[3]
+        assert image.shape == (32, 32)
+
+    def test_caching_returns_same_object(self):
+        dataset = KodakDataset(num_images=2, height=32, width=48)
+        assert dataset[1] is dataset[1]
+
+    def test_negative_indexing(self):
+        dataset = KodakDataset(num_images=3, height=32, width=48)
+        assert np.array_equal(dataset[-1], dataset[2])
+
+    def test_out_of_range_raises(self):
+        dataset = KodakDataset(num_images=2, height=32, width=48)
+        with pytest.raises(IndexError):
+            dataset[2]
+
+    def test_iteration_yields_all_images(self):
+        dataset = CifarLikeDataset(num_images=5, size=16)
+        assert len(list(dataset)) == 5
+
+    def test_datasets_are_deterministic_across_instances(self):
+        a = KodakDataset(num_images=1, height=32, width=48, seed=7)[0]
+        b = KodakDataset(num_images=1, height=32, width=48, seed=7)[0]
+        assert np.array_equal(a, b)
+
+    def test_base_class_generate_not_implemented(self):
+        dataset = ImageDataset(num_images=1)
+        with pytest.raises(NotImplementedError):
+            dataset[0]
+
+
+class TestPatchExtraction:
+    def test_extract_patches_counts(self):
+        image = np.zeros((32, 48))
+        patches = extract_patches(image, 16)
+        assert patches.shape == (2 * 3, 16, 16)
+
+    def test_extract_patches_with_stride(self):
+        image = np.zeros((32, 32))
+        patches = extract_patches(image, 16, stride=8)
+        assert patches.shape[0] == 3 * 3
+
+    def test_extract_patches_color(self):
+        patches = extract_patches(np.zeros((32, 32, 3)), 16)
+        assert patches.shape == (4, 16, 16, 3)
+
+    def test_extract_patches_too_small_image(self):
+        assert extract_patches(np.zeros((8, 8)), 16).shape[0] == 0
+
+    def test_patch_batcher_shapes(self):
+        dataset = CifarLikeDataset(num_images=8, size=32)
+        batcher = PatchBatcher(dataset, patch_size=16, batch_size=4)
+        batches = list(batcher.batches(3))
+        assert len(batches) == 3
+        assert all(batch.shape == (4, 16, 16) for batch in batches)
+
+    def test_patch_batcher_converts_rgb_to_luma(self):
+        dataset = KodakDataset(num_images=2, height=48, width=48)
+        batcher = PatchBatcher(dataset, patch_size=32, batch_size=2)
+        batch = next(iter(batcher.batches(1)))
+        assert batch.shape == (2, 32, 32)
+
+    def test_patch_batcher_rejects_too_small_images(self):
+        dataset = CifarLikeDataset(num_images=2, size=16)
+        batcher = PatchBatcher(dataset, patch_size=32, batch_size=1)
+        with pytest.raises(ValueError):
+            next(iter(batcher.batches(1)))
+
+    def test_patch_batcher_deterministic(self):
+        dataset = CifarLikeDataset(num_images=8, size=32)
+        a = next(iter(PatchBatcher(dataset, 16, 4, seed=3).batches(1)))
+        b = next(iter(PatchBatcher(dataset, 16, 4, seed=3).batches(1)))
+        assert np.array_equal(a, b)

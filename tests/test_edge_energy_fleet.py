@@ -1,0 +1,142 @@
+"""Tests for the energy/battery models and the multi-node fleet simulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codecs import JpegCodec, MbtCodec
+from repro.edge import (
+    BatteryModel,
+    CameraNode,
+    EdgeServerTestbed,
+    EnergyModel,
+    FleetSimulation,
+    WirelessChannel,
+)
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    return EdgeServerTestbed()
+
+
+@pytest.fixture(scope="module")
+def jpeg_report(testbed, kodak_small):
+    return testbed.run(JpegCodec(quality=80), image=kodak_small[0])
+
+
+@pytest.fixture(scope="module")
+def mbt_report(testbed, kodak_small):
+    return testbed.run(MbtCodec(quality=4), image=kodak_small[0])
+
+
+class TestEnergyModel:
+    def test_breakdown_components_are_positive(self, jpeg_report):
+        energy = EnergyModel().per_image(jpeg_report)
+        assert energy.compute_j > 0
+        assert energy.transmit_j > 0
+        assert energy.total_j == pytest.approx(
+            energy.compute_j + energy.transmit_j + energy.idle_j)
+
+    def test_mwh_conversion(self, jpeg_report):
+        energy = EnergyModel().per_image(jpeg_report)
+        assert energy.total_mwh == pytest.approx(energy.total_j / 3.6)
+
+    def test_classical_codec_costs_less_edge_energy_than_neural(self, jpeg_report, mbt_report):
+        """The Fig. 6 power story translated into energy per image."""
+        model = EnergyModel()
+        assert model.per_image(jpeg_report).compute_j < model.per_image(mbt_report).compute_j
+
+    def test_including_model_load_increases_energy(self, mbt_report):
+        model = EnergyModel()
+        cold = model.per_image(mbt_report, include_load=True)
+        warm = model.per_image(mbt_report, include_load=False)
+        assert cold.total_j > warm.total_j
+
+    def test_details_identify_the_codec(self, jpeg_report):
+        energy = EnergyModel().per_image(jpeg_report)
+        assert energy.details["codec"] == jpeg_report.codec_name
+
+
+class TestBatteryModel:
+    def test_images_per_charge_scales_inversely_with_energy(self):
+        battery = BatteryModel(capacity_wh=10.0, usable_fraction=1.0)
+        assert battery.images_per_charge(1.0) == 36_000
+        assert battery.images_per_charge(2.0) == 18_000
+
+    def test_lifetime_includes_standby_draw(self):
+        battery = BatteryModel(capacity_wh=10.0, standby_w=1.0, usable_fraction=1.0)
+        # zero capture rate: lifetime limited purely by standby (10 Wh / 1 W).
+        assert battery.lifetime_hours(0.5, images_per_hour=0) == pytest.approx(10.0)
+
+    def test_lifetime_days_conversion(self):
+        battery = BatteryModel(capacity_wh=24.0, standby_w=1.0, usable_fraction=1.0)
+        assert battery.lifetime_days(0.0, images_per_hour=0) == pytest.approx(1.0)
+
+    def test_lower_energy_codec_extends_lifetime(self, jpeg_report, mbt_report):
+        model = EnergyModel()
+        battery = BatteryModel()
+        jpeg_life = battery.lifetime_hours(model.per_image(jpeg_report), images_per_hour=30)
+        mbt_life = battery.lifetime_hours(model.per_image(mbt_report), images_per_hour=30)
+        assert jpeg_life > mbt_life
+
+    def test_invalid_inputs_are_rejected(self):
+        battery = BatteryModel()
+        with pytest.raises(ValueError):
+            battery.images_per_charge(0.0)
+        with pytest.raises(ValueError):
+            battery.lifetime_hours(1.0, images_per_hour=-1)
+
+
+class TestFleetSimulation:
+    def _fleet(self, num_nodes, bytes_per_image=20_000, images_per_hour=120,
+               bandwidth_mbps=6.0):
+        channel = WirelessChannel(bandwidth_mbps=bandwidth_mbps,
+                                  per_transfer_overhead_ms=50.0)
+        nodes = [CameraNode(f"cam-{i}", images_per_hour=images_per_hour,
+                            bytes_per_image=bytes_per_image) for i in range(num_nodes)]
+        return FleetSimulation(channel, nodes)
+
+    def test_utilisation_scales_with_fleet_size(self):
+        small = self._fleet(2).evaluate("jpeg")
+        large = self._fleet(8).evaluate("jpeg")
+        assert large.utilisation == pytest.approx(4 * small.utilisation, rel=1e-6)
+
+    def test_queueing_delay_grows_with_load(self):
+        light = self._fleet(2).evaluate("jpeg")
+        heavy = self._fleet(20).evaluate("jpeg")
+        assert heavy.mean_queueing_delay_ms > light.mean_queueing_delay_ms
+
+    def test_saturation_is_flagged(self):
+        report = self._fleet(100, bytes_per_image=200_000, images_per_hour=600,
+                             bandwidth_mbps=1.0).evaluate("jpeg")
+        assert report.saturated
+        assert report.mean_queueing_delay_ms == float("inf")
+        assert "SATURATED" in report.headline()
+
+    def test_smaller_frames_reduce_congestion(self):
+        big = self._fleet(10, bytes_per_image=80_000).evaluate("raw")
+        small = self._fleet(10, bytes_per_image=8_000).evaluate("easz")
+        assert small.utilisation < big.utilisation
+        assert small.mean_total_latency_ms < big.mean_total_latency_ms
+
+    def test_calibrate_node_sizes_with_real_codec(self, kodak_small):
+        fleet = self._fleet(3, bytes_per_image=0.0)
+        fleet.calibrate_node_sizes(JpegCodec(quality=70), kodak_small[0])
+        report = fleet.evaluate("jpeg")
+        assert all(entry["bytes_per_image"] > 0 for entry in report.per_node)
+
+    def test_max_sustainable_nodes_monotone_in_frame_size(self):
+        fleet = self._fleet(0)
+        many = fleet.max_sustainable_nodes(bytes_per_image=5_000, images_per_hour=120)
+        few = fleet.max_sustainable_nodes(bytes_per_image=50_000, images_per_hour=120)
+        assert many > few > 0
+
+    def test_errors_on_missing_calibration_or_empty_fleet(self):
+        with pytest.raises(ValueError):
+            FleetSimulation(WirelessChannel(), []).evaluate()
+        fleet = self._fleet(2, bytes_per_image=0.0)
+        with pytest.raises(ValueError, match="calibrated"):
+            fleet.evaluate()
+        with pytest.raises(ValueError):
+            fleet.max_sustainable_nodes(0, 10)

@@ -1,0 +1,61 @@
+"""Smoke tests for the example scripts.
+
+Every example must at least expose a ``main()`` entry point and import
+cleanly; a representative subset (the ones that finish in seconds once the
+model cache is warm) is executed end-to-end as a subprocess so regressions in
+the public API surface show up here rather than when a user runs the script.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+_EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+_ALL_EXAMPLES = sorted(path.name for path in _EXAMPLES_DIR.glob("*.py"))
+
+#: Examples cheap enough (cached model, small images) to execute in the test suite.
+_RUNNABLE = ["quickstart.py", "adaptive_bitrate.py", "streaming_surveillance.py"]
+
+
+def _load_module(name):
+    path = _EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExampleStructure:
+    def test_expected_examples_are_present(self):
+        expected = {
+            "quickstart.py",
+            "adaptive_bitrate.py",
+            "industrial_inspection.py",
+            "wildlife_monitoring.py",
+            "autonomous_driving.py",
+            "fleet_congestion.py",
+            "streaming_surveillance.py",
+        }
+        assert expected.issubset(set(_ALL_EXAMPLES))
+
+    @pytest.mark.parametrize("name", _ALL_EXAMPLES)
+    def test_every_example_imports_and_has_main(self, name):
+        module = _load_module(name)
+        assert callable(getattr(module, "main", None)), f"{name} has no main()"
+        assert module.__doc__, f"{name} has no module docstring"
+
+
+class TestExampleExecution:
+    @pytest.mark.parametrize("name", _RUNNABLE)
+    def test_example_runs_end_to_end(self, name):
+        completed = subprocess.run(
+            [sys.executable, str(_EXAMPLES_DIR / name)],
+            capture_output=True, text=True, timeout=240,
+        )
+        assert completed.returncode == 0, completed.stderr[-2000:]
+        assert completed.stdout.strip(), f"{name} produced no output"

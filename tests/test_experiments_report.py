@@ -1,0 +1,89 @@
+"""Tests for the Markdown experiment-report builder and the shared harness glue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codecs import JpegCodec
+from repro.experiments import evaluate_codec_on_dataset
+from repro.experiments.report import ExperimentRecord, MarkdownReport, format_markdown_table
+
+
+class TestFormatMarkdownTable:
+    def test_basic_rendering(self):
+        table = format_markdown_table(["codec", "bpp"], [["jpeg", 0.412], ["bpg", 0.382]])
+        lines = table.splitlines()
+        assert lines[0] == "| codec | bpp |"
+        assert lines[1] == "|---|---|"
+        assert "| jpeg | 0.412 |" in lines
+
+    def test_floats_are_formatted_consistently(self):
+        table = format_markdown_table(["x"], [[1.23456]])
+        assert "| 1.235 |" in table
+
+    def test_column_mismatch_is_rejected(self):
+        with pytest.raises(ValueError, match="columns"):
+            format_markdown_table(["a", "b"], [["only-one"]])
+
+
+class TestExperimentRecord:
+    def _record(self):
+        return ExperimentRecord(
+            experiment_id="Table II",
+            title="Compression enhancement",
+            headers=["codec", "bpp", "brisque"],
+            paper_reference="JPEG 43.06 → 22.34 BRISQUE at ~0.41 BPP",
+            status="partially reproduced",
+        )
+
+    def test_add_row_enforces_arity(self):
+        record = self._record()
+        record.add_row("jpeg", 0.41, 43.1)
+        with pytest.raises(ValueError):
+            record.add_row("jpeg", 0.41)
+
+    def test_markdown_contains_reference_and_status_marker(self):
+        record = self._record().add_row("jpeg", 0.41, 43.1)
+        text = record.to_markdown()
+        assert text.startswith("## Table II — Compression enhancement ◐")
+        assert "*Paper reports:*" in text
+        assert "| jpeg | 0.410 | 43.100 |" in text
+
+    def test_invalid_status_is_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentRecord("x", "y", ["a"], status="maybe")
+
+
+class TestMarkdownReport:
+    def test_summary_index_lists_all_records(self):
+        report = MarkdownReport(title="Easz reproduction", preamble="CPU-scale run.")
+        report.new_record("Fig. 1", "Motivation", ["codec", "ms"]).add_row("cheng", 18000)
+        report.new_record("Fig. 6", "Efficiency", ["codec", "W"], status="reproduced")
+        text = report.to_markdown()
+        assert text.startswith("# Easz reproduction")
+        assert "CPU-scale run." in text
+        assert "| Fig. 1 | Motivation | reproduced |" in text
+        assert text.count("## ") == 2
+
+    def test_add_rejects_foreign_objects(self):
+        with pytest.raises(TypeError):
+            MarkdownReport().add({"not": "a record"})
+
+    def test_write_round_trips_to_disk(self, tmp_path):
+        report = MarkdownReport(title="r")
+        report.new_record("Fig. 3", "Mask strategy", ["ratio", "mse"]).add_row(0.25, 1e-4)
+        path = tmp_path / "report.md"
+        size = report.write(path)
+        assert size == path.stat().st_size
+        assert "Fig. 3" in path.read_text()
+
+    def test_report_from_real_evaluation(self, kodak_small):
+        """The report builder consumes the harness's CodecEvaluation rows directly."""
+        evaluation = evaluate_codec_on_dataset(JpegCodec(quality=70), kodak_small,
+                                               max_images=1, full_reference=("psnr",))
+        report = MarkdownReport(title="smoke")
+        record = report.new_record("Table II", "JPEG row",
+                                   ["codec", "bpp", "brisque", "pi", "tres"])
+        record.add_row(*evaluation.row(["brisque", "pi", "tres"]))
+        text = report.to_markdown()
+        assert "jpeg-q70" in text

@@ -1,0 +1,223 @@
+"""Tests for full-reference and no-reference quality metrics."""
+
+import numpy as np
+import pytest
+from scipy.ndimage import gaussian_filter
+
+from repro.codecs import JpegCodec
+from repro.metrics import (
+    NaturalnessModel,
+    bits_per_pixel,
+    brisque,
+    file_saving_ratio,
+    fit_aggd,
+    fit_ggd,
+    generate_pristine_image,
+    lpips,
+    mae,
+    ms_ssim,
+    mscn_coefficients,
+    mse,
+    multiscale_nss_features,
+    niqe,
+    nss_features,
+    pi,
+    psnr,
+    ssim,
+    tres,
+)
+from repro.metrics.lpips import PerceptualLoss
+from repro import nn
+
+
+@pytest.fixture(scope="module")
+def pristine():
+    rng = np.random.default_rng(42)
+    return generate_pristine_image(rng, 128)
+
+
+@pytest.fixture(scope="module")
+def distorted(pristine):
+    codec = JpegCodec(quality=8)
+    reconstruction, _ = codec.roundtrip(pristine)
+    return reconstruction
+
+
+class TestFullReference:
+    def test_mse_zero_for_identical(self, pristine):
+        assert mse(pristine, pristine) == 0.0
+
+    def test_mse_shape_mismatch(self, pristine):
+        with pytest.raises(ValueError):
+            mse(pristine, pristine[:-2])
+
+    def test_mae_and_rmse_relations(self, pristine, distorted):
+        assert mae(pristine, distorted) > 0
+        assert mse(pristine, distorted) > 0
+
+    def test_psnr_infinite_for_identical(self, pristine):
+        assert psnr(pristine, pristine) == float("inf")
+
+    def test_psnr_known_value(self):
+        a = np.zeros((10, 10))
+        b = np.full((10, 10), 0.1)
+        assert psnr(a, b) == pytest.approx(20.0, abs=1e-6)
+
+    def test_psnr_decreases_with_noise_level(self, pristine):
+        rng = np.random.default_rng(0)
+        light = np.clip(pristine + 0.02 * rng.standard_normal(pristine.shape), 0, 1)
+        heavy = np.clip(pristine + 0.2 * rng.standard_normal(pristine.shape), 0, 1)
+        assert psnr(pristine, light) > psnr(pristine, heavy)
+
+    def test_ssim_bounds_and_identity(self, pristine, distorted):
+        assert ssim(pristine, pristine) == pytest.approx(1.0)
+        value = ssim(pristine, distorted)
+        assert -1.0 <= value < 1.0
+
+    def test_ssim_penalises_blur(self, pristine):
+        blurred = gaussian_filter(pristine, 2.0)
+        assert ssim(pristine, blurred) < ssim(pristine, gaussian_filter(pristine, 0.5))
+
+    def test_ms_ssim_identity_and_ordering(self, pristine):
+        assert ms_ssim(pristine, pristine) == pytest.approx(1.0)
+        mild = gaussian_filter(pristine, 0.8)
+        severe = gaussian_filter(pristine, 3.0)
+        assert ms_ssim(pristine, mild) > ms_ssim(pristine, severe)
+
+    def test_ms_ssim_works_on_small_images(self):
+        rng = np.random.default_rng(0)
+        a = rng.random((24, 24))
+        b = np.clip(a + 0.05 * rng.standard_normal((24, 24)), 0, 1)
+        assert 0.0 < ms_ssim(a, b) <= 1.0
+
+    def test_metrics_accept_rgb(self, pristine):
+        rgb = np.repeat(pristine[..., None], 3, axis=2)
+        assert ssim(rgb, rgb) == pytest.approx(1.0)
+        assert psnr(rgb, rgb) == float("inf")
+
+
+class TestLpips:
+    def test_identity_is_zero(self, pristine):
+        assert lpips(pristine, pristine) == pytest.approx(0.0, abs=1e-12)
+
+    def test_increases_with_distortion_strength(self, pristine):
+        rng = np.random.default_rng(1)
+        light = np.clip(pristine + 0.02 * rng.standard_normal(pristine.shape), 0, 1)
+        heavy = np.clip(pristine + 0.2 * rng.standard_normal(pristine.shape), 0, 1)
+        assert lpips(pristine, heavy) > lpips(pristine, light)
+
+    def test_shape_mismatch_rejected(self, pristine):
+        with pytest.raises(ValueError):
+            lpips(pristine, pristine[:-1])
+
+    def test_perceptual_loss_is_differentiable(self):
+        loss_fn = PerceptualLoss(num_scales=2)
+        rng = np.random.default_rng(0)
+        prediction = nn.Tensor(rng.random((2, 16, 16)), requires_grad=True)
+        target = nn.Tensor(rng.random((2, 16, 16)))
+        loss = loss_fn(prediction, target)
+        loss.backward()
+        assert prediction.grad is not None
+        assert np.isfinite(prediction.grad).all()
+
+    def test_perceptual_loss_zero_for_identical_batches(self):
+        loss_fn = PerceptualLoss(num_scales=2)
+        batch = np.random.default_rng(0).random((2, 16, 16))
+        assert float(loss_fn(batch, batch).data) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestNssFeatures:
+    def test_mscn_is_roughly_zero_mean_unit_scale(self, pristine):
+        coefficients = mscn_coefficients(pristine)
+        assert abs(coefficients.mean()) < 0.2
+        assert 0.2 < coefficients.std() < 2.0
+
+    def test_ggd_fit_recovers_gaussian_shape(self):
+        rng = np.random.default_rng(0)
+        alpha, sigma = fit_ggd(rng.normal(0, 0.5, size=100_000))
+        assert alpha == pytest.approx(2.0, abs=0.15)
+        assert sigma == pytest.approx(0.5, abs=0.02)
+
+    def test_ggd_fit_recovers_laplacian_shape(self):
+        rng = np.random.default_rng(0)
+        alpha, _ = fit_ggd(rng.laplace(0, 0.5, size=100_000))
+        assert alpha == pytest.approx(1.0, abs=0.15)
+
+    def test_ggd_degenerate_input(self):
+        alpha, sigma = fit_ggd(np.zeros(100))
+        assert alpha == 10.0 and sigma >= 0.0
+
+    def test_aggd_fit_detects_asymmetry(self):
+        rng = np.random.default_rng(0)
+        symmetric = rng.normal(0, 1, 50_000)
+        skewed = np.where(symmetric > 0, symmetric * 2.0, symmetric)
+        _, _, left_sym, right_sym = fit_aggd(symmetric)
+        _, _, left_skew, right_skew = fit_aggd(skewed)
+        assert abs(left_sym - right_sym) < 0.05
+        assert right_skew > left_skew * 1.5
+
+    def test_feature_vector_lengths(self, pristine):
+        assert nss_features(pristine).shape == (18,)
+        assert multiscale_nss_features(pristine, scales=2).shape == (36,)
+
+    def test_features_are_finite(self, pristine, distorted):
+        assert np.isfinite(nss_features(pristine)).all()
+        assert np.isfinite(nss_features(distorted)).all()
+
+
+class TestNoReferenceMetrics:
+    def test_brisque_orders_by_distortion(self, pristine, distorted):
+        assert brisque(distorted) > brisque(pristine)
+
+    def test_brisque_in_range(self, pristine, distorted):
+        for image in (pristine, distorted):
+            assert 0.0 <= brisque(image) <= 100.0
+
+    def test_niqe_orders_by_distortion(self, pristine, distorted):
+        assert niqe(distorted) > niqe(pristine)
+
+    def test_pi_combines_and_orders(self, pristine, distorted):
+        assert pi(distorted) > pi(pristine)
+        assert pi(pristine) > 0
+
+    def test_tres_higher_is_better(self, pristine, distorted):
+        assert tres(pristine) > tres(distorted)
+        assert 0.0 <= tres(distorted) <= 100.0
+
+    def test_blur_degrades_all_metrics(self, pristine):
+        blurred = gaussian_filter(pristine, 2.5)
+        assert brisque(blurred) > brisque(pristine)
+        assert tres(blurred) < tres(pristine)
+
+    def test_noise_degrades_brisque(self, pristine):
+        rng = np.random.default_rng(0)
+        noisy = np.clip(pristine + 0.15 * rng.standard_normal(pristine.shape), 0, 1)
+        assert brisque(noisy) > brisque(pristine)
+
+    def test_metric_monotone_in_jpeg_quality(self, pristine):
+        scores = [brisque(JpegCodec(quality=q).roundtrip(pristine)[0]) for q in (10, 50, 90)]
+        assert scores[0] > scores[2]
+
+    def test_custom_naturalness_model(self, pristine):
+        rng = np.random.default_rng(5)
+        model = NaturalnessModel().fit([generate_pristine_image(rng, 96) for _ in range(6)])
+        assert model.is_fit
+        assert model.distance(pristine) >= 0.0
+
+    def test_unfit_model_raises(self, pristine):
+        with pytest.raises(RuntimeError):
+            NaturalnessModel().distance(pristine)
+
+
+class TestRateAccounting:
+    def test_bits_per_pixel(self):
+        assert bits_per_pixel(1000, (100, 100)) == pytest.approx(0.8)
+        assert bits_per_pixel(1000, np.zeros((100, 100, 3))) == pytest.approx(0.8)
+
+    def test_file_saving_ratio(self):
+        assert file_saving_ratio(1000, 900) == pytest.approx(0.1)
+        assert file_saving_ratio(1000, 1100) == pytest.approx(-0.1)
+
+    def test_file_saving_ratio_rejects_zero_baseline(self):
+        with pytest.raises(ValueError):
+            file_saving_ratio(0, 10)

@@ -1,0 +1,167 @@
+"""Tests for Bjøntegaard deltas, rate/quality curves and GMSD."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    RateQualityCurve,
+    average_curves,
+    bd_quality,
+    bd_rate,
+    gmsd,
+    gradient_magnitude_similarity,
+    pareto_front,
+)
+
+_RATES = [0.2, 0.4, 0.7, 1.0, 1.4]
+_PSNRS = [29.0, 32.0, 34.0, 35.5, 36.5]
+
+
+class TestBjontegaard:
+    def test_identical_curves_have_zero_delta(self):
+        assert bd_rate(_RATES, _PSNRS, _RATES, _PSNRS) == pytest.approx(0.0, abs=1e-9)
+        assert bd_quality(_RATES, _PSNRS, _RATES, _PSNRS) == pytest.approx(0.0, abs=1e-9)
+
+    def test_uniform_rate_saving_is_recovered(self):
+        """A codec needing 20% fewer bits at every quality shows BD-rate ≈ −20%."""
+        cheaper = [r * 0.8 for r in _RATES]
+        assert bd_rate(_RATES, _PSNRS, cheaper, _PSNRS) == pytest.approx(-20.0, abs=0.5)
+
+    def test_uniform_quality_gain_is_recovered(self):
+        better = [q + 1.5 for q in _PSNRS]
+        assert bd_quality(_RATES, _PSNRS, _RATES, better) == pytest.approx(1.5, abs=1e-6)
+
+    def test_bd_rate_sign_convention(self):
+        worse = [r * 1.3 for r in _RATES]
+        assert bd_rate(_RATES, _PSNRS, worse, _PSNRS) > 0
+
+    def test_requires_at_least_four_points(self):
+        with pytest.raises(ValueError, match="at least 4"):
+            bd_rate([0.2, 0.4, 0.6], [30, 32, 33], _RATES, _PSNRS)
+
+    def test_rejects_non_positive_rates(self):
+        with pytest.raises(ValueError, match="strictly positive"):
+            bd_rate([0.0, 0.4, 0.7, 1.0], _PSNRS[:4], _RATES, _PSNRS)
+
+    def test_rejects_disjoint_rate_ranges(self):
+        with pytest.raises(ValueError, match="overlap"):
+            bd_quality(_RATES, _PSNRS, [10.0, 12.0, 14.0, 16.0], _PSNRS[:4])
+
+    @given(scale=st.floats(0.5, 0.95))
+    @settings(max_examples=20, deadline=None)
+    def test_cheaper_curve_always_has_negative_bd_rate(self, scale):
+        cheaper = [r * scale for r in _RATES]
+        assert bd_rate(_RATES, _PSNRS, cheaper, _PSNRS) < 0
+
+
+class TestRateQualityCurve:
+    def _curve(self):
+        curve = RateQualityCurve("jpeg", metric="psnr")
+        for rate, quality in zip(_RATES, _PSNRS):
+            curve.add(rate, quality)
+        return curve
+
+    def test_points_are_kept_sorted_by_rate(self):
+        curve = RateQualityCurve("x")
+        curve.add(1.0, 35.0).add(0.2, 29.0).add(0.6, 33.0)
+        assert list(curve.rates) == sorted(curve.rates)
+
+    def test_interpolation_between_points(self):
+        curve = self._curve()
+        assert curve.quality_at(0.3) == pytest.approx(30.5)
+        assert curve.rate_at(33.0) == pytest.approx(0.55)
+
+    def test_interpolation_clamps_outside_range(self):
+        curve = self._curve()
+        assert curve.quality_at(0.01) == pytest.approx(_PSNRS[0])
+        assert curve.quality_at(10.0) == pytest.approx(_PSNRS[-1])
+
+    def test_empty_curve_raises(self):
+        with pytest.raises(ValueError):
+            RateQualityCurve("empty").quality_at(0.5)
+
+    def test_crossover_detection(self):
+        slow_start = RateQualityCurve("a")
+        strong_finish = RateQualityCurve("b")
+        for rate in _RATES:
+            slow_start.add(rate, 30.0 + 2.0 * rate)
+            strong_finish.add(rate, 28.0 + 5.0 * rate)
+        crossover = strong_finish.crossover(slow_start)
+        assert crossover is not None
+        assert 0.6 < crossover < 0.75
+        assert strong_finish.dominates_at(slow_start, 1.2)
+        assert not strong_finish.dominates_at(slow_start, 0.3)
+
+    def test_crossover_none_when_always_behind(self):
+        curve = self._curve()
+        worse = RateQualityCurve("worse")
+        for rate, quality in zip(_RATES, _PSNRS):
+            worse.add(rate, quality - 2.0)
+        assert worse.crossover(curve) is None
+
+    def test_lower_is_better_metrics_flip_the_comparison(self):
+        brisque_a = RateQualityCurve("a", metric="brisque", higher_is_better=False)
+        brisque_b = RateQualityCurve("b", metric="brisque", higher_is_better=False)
+        for rate in _RATES:
+            brisque_a.add(rate, 40.0 - 10.0 * rate)
+            brisque_b.add(rate, 30.0 - 10.0 * rate)
+        assert brisque_b.dominates_at(brisque_a, 0.5)
+        assert brisque_b.crossover(brisque_a) == pytest.approx(_RATES[0])
+
+    def test_pareto_front_drops_dominated_points(self):
+        curve = RateQualityCurve("x")
+        curve.add(0.2, 30.0).add(0.4, 29.0).add(0.6, 33.0).add(0.8, 32.0)
+        front = pareto_front(curve)
+        assert [p["quality"] for p in front.points] == [30.0, 33.0]
+
+    def test_average_curves(self):
+        first, second = self._curve(), self._curve()
+        second.points = [dict(p, quality=p["quality"] + 2.0) for p in second.points]
+        averaged = average_curves([first, second], samples=8)
+        assert len(averaged) == 8
+        assert averaged.quality_at(0.5) == pytest.approx(first.quality_at(0.5) + 1.0, abs=0.2)
+
+    def test_average_requires_overlap(self):
+        low = RateQualityCurve("low").add(0.1, 30).add(0.2, 31)
+        high = RateQualityCurve("high").add(1.0, 35).add(2.0, 36)
+        with pytest.raises(ValueError, match="overlap"):
+            average_curves([low, high])
+
+    def test_as_series_conversion(self):
+        series = self._curve().as_series()
+        assert series.label == "jpeg"
+        assert series.xs == list(_RATES)
+
+
+class TestGmsd:
+    def test_identical_images_score_zero(self, gray_image):
+        assert gmsd(gray_image, gray_image) == pytest.approx(0.0, abs=1e-9)
+
+    def test_similarity_map_is_bounded(self, gray_image, rng):
+        noisy = np.clip(gray_image + 0.05 * rng.standard_normal(gray_image.shape), 0, 1)
+        similarity = gradient_magnitude_similarity(gray_image, noisy)
+        assert similarity.min() >= 0.0 and similarity.max() <= 1.0 + 1e-9
+
+    def test_more_distortion_scores_worse(self, gray_image, rng):
+        mild = np.clip(gray_image + 0.02 * rng.standard_normal(gray_image.shape), 0, 1)
+        severe = np.clip(gray_image + 0.2 * rng.standard_normal(gray_image.shape), 0, 1)
+        assert gmsd(gray_image, severe) > gmsd(gray_image, mild)
+
+    def test_color_inputs_use_luma(self, rgb_image, rng):
+        noisy = np.clip(rgb_image + 0.1 * rng.standard_normal(rgb_image.shape), 0, 1)
+        assert gmsd(rgb_image, noisy) > 0
+
+    def test_shape_mismatch_is_rejected(self, gray_image):
+        with pytest.raises(ValueError):
+            gmsd(gray_image, gray_image[:-2, :-2])
+
+    def test_blocky_artifacts_score_worse_than_blur(self, gray_image):
+        """GMSD is structure-sensitive: hard block edges hurt more than mild blur."""
+        blurred = 0.5 * gray_image + 0.5 * np.roll(gray_image, 1, axis=0)
+        blocky = gray_image.copy()
+        blocky[::8, :] = 0.0
+        assert gmsd(gray_image, blocky) > gmsd(gray_image, blurred)

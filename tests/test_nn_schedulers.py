@@ -1,0 +1,146 @@
+"""Tests for learning-rate schedules, early stopping and weight averaging."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+@pytest.fixture()
+def optimizer():
+    layer = nn.Linear(4, 4, rng=np.random.default_rng(0))
+    return nn.Adam(layer.parameters(), lr=0.1)
+
+
+class TestBasicSchedules:
+    def test_constant_lr_never_changes(self, optimizer):
+        schedule = nn.ConstantLR(optimizer)
+        values = [schedule.step() for _ in range(5)]
+        assert all(v == pytest.approx(0.1) for v in values)
+
+    def test_step_lr_decays_at_boundaries(self, optimizer):
+        schedule = nn.StepLR(optimizer, step_size=3, gamma=0.5)
+        values = [schedule.step() for _ in range(7)]
+        assert values[0] == pytest.approx(0.1)
+        assert values[2] == pytest.approx(0.05)   # step 3 crosses the boundary
+        assert values[5] == pytest.approx(0.025)  # step 6 crosses the next one
+
+    def test_step_lr_rejects_non_positive_step_size(self, optimizer):
+        with pytest.raises(ValueError):
+            nn.StepLR(optimizer, step_size=0)
+
+    def test_exponential_lr_is_geometric(self, optimizer):
+        schedule = nn.ExponentialLR(optimizer, gamma=0.9)
+        values = [schedule.step() for _ in range(4)]
+        ratios = [b / a for a, b in zip(values, values[1:])]
+        assert all(r == pytest.approx(0.9) for r in ratios)
+
+    def test_warmup_cosine_warms_up_then_anneals(self, optimizer):
+        schedule = nn.WarmupCosineLR(optimizer, total_steps=10, warmup_steps=3, min_lr=0.01)
+        values = [schedule.step() for _ in range(10)]
+        assert values[0] < values[1] < values[2]            # warm-up is increasing
+        assert values[2] == pytest.approx(0.1)               # reaches base lr
+        assert all(a >= b - 1e-12 for a, b in zip(values[2:], values[3:]))  # then decays
+        assert values[-1] == pytest.approx(0.01, abs=1e-9)   # ends at min_lr
+
+    def test_schedule_updates_optimizer_in_place(self, optimizer):
+        schedule = nn.ExponentialLR(optimizer, gamma=0.5)
+        schedule.step()
+        assert optimizer.lr == pytest.approx(0.05)
+        assert schedule.current_lr == optimizer.lr
+
+
+class TestReduceLROnPlateau:
+    def test_reduces_after_patience_exhausted(self, optimizer):
+        plateau = nn.ReduceLROnPlateau(optimizer, factor=0.5, patience=2)
+        plateau.step(1.0)
+        for _ in range(3):
+            plateau.step(1.0)
+        assert optimizer.lr == pytest.approx(0.05)
+        assert plateau.num_reductions == 1
+
+    def test_improvement_resets_patience(self, optimizer):
+        plateau = nn.ReduceLROnPlateau(optimizer, factor=0.5, patience=2, threshold=1e-6)
+        losses = [1.0, 0.9, 0.8, 0.7, 0.6, 0.5]
+        for loss in losses:
+            plateau.step(loss)
+        assert optimizer.lr == pytest.approx(0.1)
+
+    def test_respects_min_lr(self, optimizer):
+        plateau = nn.ReduceLROnPlateau(optimizer, factor=0.1, patience=0, min_lr=0.05)
+        for _ in range(10):
+            plateau.step(1.0)
+        assert optimizer.lr == pytest.approx(0.05)
+
+    def test_rejects_bad_factor(self, optimizer):
+        with pytest.raises(ValueError):
+            nn.ReduceLROnPlateau(optimizer, factor=1.5)
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience_without_improvement(self):
+        stopper = nn.EarlyStopping(patience=3)
+        assert not stopper.step(1.0)
+        assert not stopper.step(1.0)
+        assert not stopper.step(1.0)
+        assert stopper.step(1.0)
+        assert stopper.should_stop
+
+    def test_improvement_keeps_training(self):
+        stopper = nn.EarlyStopping(patience=2)
+        for loss in (1.0, 0.9, 0.8, 0.7):
+            assert not stopper.step(loss)
+
+
+class TestExponentialMovingAverage:
+    def test_shadow_tracks_parameters(self):
+        layer = nn.Linear(3, 3, rng=np.random.default_rng(1))
+        ema = nn.ExponentialMovingAverage(layer.parameters(), decay=0.5)
+        original = [np.array(p.data) for p in layer.parameters()]
+        for parameter in layer.parameters():
+            parameter.data = parameter.data + 1.0
+        ema.update()
+        for shadow, before in zip(ema.shadow, original):
+            assert np.allclose(shadow, before + 0.5)
+
+    def test_apply_and_restore_are_inverse(self):
+        layer = nn.Linear(3, 3, rng=np.random.default_rng(2))
+        parameters = list(layer.parameters())
+        ema = nn.ExponentialMovingAverage(parameters, decay=0.9)
+        live = [np.array(p.data) for p in parameters]
+        for parameter in parameters:
+            parameter.data = parameter.data + 1.0
+        ema.update()
+        ema.apply_to()
+        applied = [np.array(p.data) for p in parameters]
+        ema.restore()
+        restored = [np.array(p.data) for p in parameters]
+        for before, mid, after in zip(live, applied, restored):
+            assert not np.allclose(mid, after)
+            assert np.allclose(after, before + 1.0)
+
+    def test_restore_without_apply_raises(self):
+        layer = nn.Linear(2, 2, rng=np.random.default_rng(3))
+        ema = nn.ExponentialMovingAverage(layer.parameters())
+        with pytest.raises(RuntimeError):
+            ema.restore()
+
+    def test_invalid_decay_and_empty_parameters_rejected(self):
+        layer = nn.Linear(2, 2, rng=np.random.default_rng(4))
+        with pytest.raises(ValueError):
+            nn.ExponentialMovingAverage(layer.parameters(), decay=1.5)
+        with pytest.raises(ValueError):
+            nn.ExponentialMovingAverage([], decay=0.9)
+
+    def test_ema_evaluation_matches_training_average(self):
+        """Averaged weights land between the oldest and newest live weights."""
+        layer = nn.Linear(2, 2, rng=np.random.default_rng(5))
+        parameter = list(layer.parameters())[0]
+        ema = nn.ExponentialMovingAverage([parameter], decay=0.5)
+        start = np.array(parameter.data)
+        parameter.data = start + 4.0
+        ema.update()
+        assert np.all(ema.shadow[0] > start)
+        assert np.all(ema.shadow[0] < parameter.data)

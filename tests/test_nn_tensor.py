@@ -1,0 +1,349 @@
+"""Tests for the autograd tensor (repro.nn.tensor)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro import nn
+from repro.nn.tensor import Tensor, as_tensor, is_grad_enabled, no_grad
+
+
+def numeric_gradient(fn, x, eps=1e-6):
+    """Central-difference gradient of scalar-valued ``fn`` at ``x``."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        delta = np.zeros_like(x)
+        delta[idx] = eps
+        grad[idx] = (fn(x + delta) - fn(x - delta)) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+small_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=hnp.array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=4),
+    elements=st.floats(-3, 3, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestTensorBasics:
+    def test_construction_from_list(self):
+        t = Tensor([1.0, 2.0, 3.0])
+        assert t.shape == (3,)
+        assert t.dtype == np.float64
+
+    def test_construction_preserves_int_dtype(self):
+        t = Tensor(np.array([1, 2, 3], dtype=np.int64))
+        assert t.dtype == np.int64
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor([1.0])
+        assert as_tensor(t) is t
+
+    def test_as_tensor_wraps_scalar(self):
+        t = as_tensor(2.5)
+        assert float(t.data) == 2.5
+
+    def test_repr_mentions_requires_grad(self):
+        t = Tensor([1.0], requires_grad=True)
+        assert "requires_grad=True" in repr(t)
+
+    def test_detach_stops_gradient(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        assert np.array_equal(d.data, t.data)
+
+    def test_len_and_size(self):
+        t = Tensor(np.zeros((3, 4)))
+        assert len(t) == 3
+        assert t.size == 12
+
+    def test_item_on_scalar(self):
+        assert Tensor(3.5).item() == pytest.approx(3.5)
+
+    def test_backward_requires_grad_error(self):
+        t = Tensor([1.0])
+        with pytest.raises(RuntimeError):
+            t.backward()
+
+    def test_backward_non_scalar_needs_grad(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            t.backward()
+
+    def test_no_grad_context(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+            t = Tensor([1.0], requires_grad=True)
+            assert not t.requires_grad
+        assert is_grad_enabled()
+
+
+class TestArithmeticGradients:
+    def test_add_gradient(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (a + b).sum().backward()
+        assert np.allclose(a.grad, [1.0, 1.0])
+        assert np.allclose(b.grad, [1.0, 1.0])
+
+    def test_mul_gradient(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (a * b).sum().backward()
+        assert np.allclose(a.grad, [3.0, 4.0])
+        assert np.allclose(b.grad, [1.0, 2.0])
+
+    def test_sub_and_neg(self):
+        a = Tensor([5.0], requires_grad=True)
+        (a - 2.0).backward()
+        assert np.allclose(a.grad, [1.0])
+        b = Tensor([5.0], requires_grad=True)
+        (2.0 - b).backward()
+        assert np.allclose(b.grad, [-1.0])
+
+    def test_div_gradient(self):
+        a = Tensor([4.0], requires_grad=True)
+        (a / 2.0).backward()
+        assert np.allclose(a.grad, [0.5])
+
+    def test_rdiv_gradient(self):
+        a = Tensor([2.0], requires_grad=True)
+        (1.0 / a).backward()
+        assert np.allclose(a.grad, [-0.25])
+
+    def test_pow_gradient(self):
+        a = Tensor([3.0], requires_grad=True)
+        (a ** 2).backward()
+        assert np.allclose(a.grad, [6.0])
+
+    def test_pow_rejects_tensor_exponent(self):
+        a = Tensor([3.0], requires_grad=True)
+        with pytest.raises(TypeError):
+            a ** Tensor([2.0])
+
+    def test_broadcast_add_unbroadcasts_gradient(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.ones((3,)), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == (2, 3)
+        assert b.grad.shape == (3,)
+        assert np.allclose(b.grad, [2.0, 2.0, 2.0])
+
+    def test_broadcast_mul_keepdim_axis(self):
+        a = Tensor(np.ones((2, 1)), requires_grad=True)
+        b = Tensor(np.ones((2, 3)), requires_grad=True)
+        (a * b).sum().backward()
+        assert a.grad.shape == (2, 1)
+        assert np.allclose(a.grad, [[3.0], [3.0]])
+
+    def test_matmul_gradient_matches_numeric(self):
+        rng = np.random.default_rng(0)
+        a_val = rng.normal(size=(3, 4))
+        b_val = rng.normal(size=(4, 2))
+        a = Tensor(a_val, requires_grad=True)
+        b = Tensor(b_val, requires_grad=True)
+        (a @ b).sum().backward()
+        num_a = numeric_gradient(lambda x: float((x @ b_val).sum()), a_val)
+        num_b = numeric_gradient(lambda x: float((a_val @ x).sum()), b_val)
+        assert np.allclose(a.grad, num_a, atol=1e-5)
+        assert np.allclose(b.grad, num_b, atol=1e-5)
+
+    def test_batched_matmul_gradient_shape(self):
+        a = Tensor(np.random.default_rng(1).normal(size=(2, 3, 4)), requires_grad=True)
+        b = Tensor(np.random.default_rng(2).normal(size=(4, 5)), requires_grad=True)
+        (a @ b).sum().backward()
+        assert a.grad.shape == (2, 3, 4)
+        assert b.grad.shape == (4, 5)
+
+    def test_gradient_accumulates_across_uses(self):
+        a = Tensor([2.0], requires_grad=True)
+        (a * a).backward()
+        assert np.allclose(a.grad, [4.0])
+
+    def test_comparison_returns_numpy(self):
+        a = Tensor([1.0, 3.0])
+        assert isinstance(a > 2.0, np.ndarray)
+        assert (a > 2.0).tolist() == [False, True]
+
+    @given(small_arrays)
+    @settings(max_examples=25, deadline=None)
+    def test_add_backward_is_ones(self, values):
+        t = Tensor(values, requires_grad=True)
+        (t + 1.0).sum().backward()
+        assert np.allclose(t.grad, np.ones_like(values))
+
+    @given(small_arrays)
+    @settings(max_examples=25, deadline=None)
+    def test_mul_by_two_backward_is_twos(self, values):
+        t = Tensor(values, requires_grad=True)
+        (t * 2.0).sum().backward()
+        assert np.allclose(t.grad, 2.0 * np.ones_like(values))
+
+
+class TestElementwiseFunctions:
+    @pytest.mark.parametrize("method,reference", [
+        ("exp", np.exp),
+        ("tanh", np.tanh),
+        ("sigmoid", lambda x: 1 / (1 + np.exp(-x))),
+        ("relu", lambda x: np.maximum(x, 0)),
+        ("abs", np.abs),
+    ])
+    def test_forward_matches_numpy(self, method, reference):
+        values = np.linspace(-2, 2, 7)
+        out = getattr(Tensor(values), method)()
+        assert np.allclose(out.data, reference(values))
+
+    @pytest.mark.parametrize("method", ["exp", "tanh", "sigmoid", "gelu", "log"])
+    def test_gradient_matches_numeric(self, method):
+        rng = np.random.default_rng(3)
+        values = rng.uniform(0.1, 2.0, size=(2, 3))
+        t = Tensor(values, requires_grad=True)
+        getattr(t, method)().sum().backward()
+        numeric = numeric_gradient(lambda x: float(getattr(Tensor(x), method)().sum().data), values)
+        assert np.allclose(t.grad, numeric, atol=1e-4)
+
+    def test_sqrt(self):
+        t = Tensor([4.0], requires_grad=True)
+        t.sqrt().backward()
+        assert np.allclose(t.grad, [0.25])
+
+    def test_clip_gradient_masks_outside(self):
+        t = Tensor([-1.0, 0.5, 2.0], requires_grad=True)
+        t.clip(0.0, 1.0).sum().backward()
+        assert np.allclose(t.grad, [0.0, 1.0, 0.0])
+
+    def test_maximum_gradient_routes_to_larger(self):
+        a = Tensor([1.0, 5.0], requires_grad=True)
+        b = Tensor([2.0, 3.0], requires_grad=True)
+        a.maximum(b).sum().backward()
+        assert np.allclose(a.grad, [0.0, 1.0])
+        assert np.allclose(b.grad, [1.0, 0.0])
+
+    def test_softmax_rows_sum_to_one(self):
+        t = Tensor(np.random.default_rng(0).normal(size=(4, 6)))
+        out = t.softmax(axis=-1)
+        assert np.allclose(out.data.sum(axis=-1), 1.0)
+
+    def test_softmax_gradient_matches_numeric(self):
+        values = np.random.default_rng(1).normal(size=(2, 3))
+        t = Tensor(values, requires_grad=True)
+        t.softmax(axis=-1)[0, 1].backward()
+        numeric = numeric_gradient(
+            lambda x: float(Tensor(x).softmax(axis=-1).data[0, 1]), values)
+        assert np.allclose(t.grad, numeric, atol=1e-5)
+
+    def test_log_softmax_consistent_with_softmax(self):
+        t = Tensor(np.random.default_rng(2).normal(size=(3, 4)))
+        assert np.allclose(np.exp(t.log_softmax().data), t.softmax().data)
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis_keepdims(self):
+        t = Tensor(np.arange(6, dtype=float).reshape(2, 3), requires_grad=True)
+        out = t.sum(axis=1, keepdims=True)
+        assert out.shape == (2, 1)
+        out.sum().backward()
+        assert np.allclose(t.grad, np.ones((2, 3)))
+
+    def test_mean_gradient_is_uniform(self):
+        t = Tensor(np.ones((4, 5)), requires_grad=True)
+        t.mean().backward()
+        assert np.allclose(t.grad, np.full((4, 5), 1.0 / 20))
+
+    def test_var_matches_numpy(self):
+        values = np.random.default_rng(0).normal(size=(3, 7))
+        assert np.allclose(Tensor(values).var(axis=1).data, values.var(axis=1))
+
+    def test_max_gradient_to_argmax(self):
+        t = Tensor([[1.0, 5.0, 2.0]], requires_grad=True)
+        t.max(axis=1).sum().backward()
+        assert np.allclose(t.grad, [[0.0, 1.0, 0.0]])
+
+    def test_reshape_roundtrip_gradient(self):
+        t = Tensor(np.arange(12, dtype=float), requires_grad=True)
+        t.reshape(3, 4).sum().backward()
+        assert t.grad.shape == (12,)
+
+    def test_reshape_accepts_tuple(self):
+        t = Tensor(np.arange(12, dtype=float))
+        assert t.reshape((3, 4)).shape == (3, 4)
+
+    def test_transpose_default_swaps_last_two(self):
+        t = Tensor(np.zeros((2, 3, 4)))
+        assert t.transpose().shape == (2, 4, 3)
+        assert t.T.shape == (2, 4, 3)
+
+    def test_transpose_explicit_axes_gradient(self):
+        t = Tensor(np.random.default_rng(0).normal(size=(2, 3, 4)), requires_grad=True)
+        t.transpose(2, 0, 1).sum().backward()
+        assert t.grad.shape == (2, 3, 4)
+
+    def test_getitem_gradient_scatter(self):
+        t = Tensor(np.zeros(5), requires_grad=True)
+        t[np.array([0, 0, 2])].sum().backward()
+        assert np.allclose(t.grad, [2.0, 0.0, 1.0, 0.0, 0.0])
+
+    def test_pad_and_gradient(self):
+        t = Tensor(np.ones((2, 2)), requires_grad=True)
+        padded = t.pad(((1, 1), (0, 2)), value=7.0)
+        assert padded.shape == (4, 4)
+        assert padded.data[0, 0] == 7.0
+        padded.sum().backward()
+        assert np.allclose(t.grad, np.ones((2, 2)))
+
+    def test_concatenate_gradient_split(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((3, 2)), requires_grad=True)
+        Tensor.concatenate([a, b], axis=0).sum().backward()
+        assert a.grad.shape == (2, 2)
+        assert b.grad.shape == (3, 2)
+
+    def test_stack_gradient(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.zeros(3), requires_grad=True)
+        Tensor.stack([a, b], axis=0).sum().backward()
+        assert np.allclose(a.grad, np.ones(3))
+        assert np.allclose(b.grad, np.ones(3))
+
+    @given(small_arrays)
+    @settings(max_examples=25, deadline=None)
+    def test_sum_then_mean_equals_numpy(self, values):
+        t = Tensor(values)
+        assert np.allclose(t.sum().data, values.sum())
+        assert np.allclose(t.mean().data, values.mean())
+
+
+class TestGraphBehaviour:
+    def test_chain_rule_through_deep_graph(self):
+        x = Tensor([0.5], requires_grad=True)
+        y = ((x * 3.0).tanh() + x ** 2).exp()
+        y.backward()
+        numeric = numeric_gradient(
+            lambda v: float(np.exp(np.tanh(v * 3.0) + v ** 2)[0]), np.array([0.5]))
+        assert np.allclose(x.grad, numeric, atol=1e-5)
+
+    def test_diamond_graph_accumulates(self):
+        x = Tensor([2.0], requires_grad=True)
+        a = x * 3.0
+        b = x * 4.0
+        (a + b).backward()
+        assert np.allclose(x.grad, [7.0])
+
+    def test_zero_grad_resets(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2).backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_no_grad_blocks_graph_construction(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad

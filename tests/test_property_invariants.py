@@ -1,0 +1,134 @@
+"""Property-based tests on the core Easz invariants (hypothesis).
+
+These complement the per-module unit tests with randomly generated
+geometries: whatever the patch/sub-patch/erase configuration and whatever the
+image content, (a) erase-and-squeeze followed by unsqueeze restores every
+kept pixel exactly, (b) the squeezed size matches the analytic formula,
+(c) the sampler's masks always satisfy their declared constraints, and
+(d) the mask transport formats agree with each other.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    EaszConfig,
+    MaskSpec,
+    RowConditionalSampler,
+    decode_mask,
+    encode_mask,
+    erase_and_squeeze_image,
+    proposed_mask,
+    squeezed_shape,
+    unsqueeze_image,
+)
+from repro.core.patchify import image_to_patches, patches_to_image
+
+
+# geometry strategy: (grid_size, erase_per_row, subpatch_size) with feasible spacing
+_geometries = st.tuples(st.integers(3, 8), st.integers(1, 3), st.sampled_from([1, 2, 3, 4])).filter(
+    lambda g: g[1] < g[0]
+)
+
+
+@st.composite
+def _image_and_config(draw):
+    grid, erase, subpatch = draw(_geometries)
+    patch = grid * subpatch
+    rows = draw(st.integers(1, 3))
+    cols = draw(st.integers(1, 3))
+    height = rows * patch - draw(st.integers(0, patch - 1))
+    width = cols * patch - draw(st.integers(0, patch - 1))
+    height, width = max(height, 1), max(width, 1)
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    image = rng.random((height, width))
+    delta = 1 if erase * 2 <= grid else 0
+    config = EaszConfig(patch_size=patch, subpatch_size=subpatch, erase_per_row=erase,
+                        intra_row_min_distance=delta, d_model=8, num_heads=2,
+                        encoder_blocks=1, decoder_blocks=1, ffn_mult=1, loss_lambda=0.0)
+    return image, config, seed
+
+
+class TestEraseSqueezeInvariants:
+    @given(data=_image_and_config())
+    @settings(max_examples=30, deadline=None)
+    def test_kept_pixels_survive_the_roundtrip_exactly(self, data):
+        image, config, seed = data
+        mask = proposed_mask(config.grid_size, config.erase_per_row,
+                             config.intra_row_min_distance, seed=seed)
+        squeezed, grid_shape, original_shape = erase_and_squeeze_image(
+            image, mask, config.patch_size, config.subpatch_size)
+        restored = unsqueeze_image(squeezed, mask, config.patch_size, config.subpatch_size,
+                                   grid_shape, original_shape, fill="zero")
+        restored = restored[: image.shape[0], : image.shape[1]]
+
+        # build the pixel-level keep mask from the sub-patch mask
+        padded, _ = image_to_patches(image, config.patch_size)[0:1][0], None
+        patches, gshape, oshape = image_to_patches(image, config.patch_size)
+        keep = np.kron(mask, np.ones((config.subpatch_size, config.subpatch_size)))
+        keep_patches = np.stack([keep] * len(patches))
+        keep_image = patches_to_image(keep_patches, gshape, oshape)[: image.shape[0],
+                                                                    : image.shape[1]]
+        kept = keep_image.astype(bool)
+        assert np.allclose(restored[kept], image[kept])
+        # erased pixels are zero-filled
+        assert np.allclose(restored[~kept], 0.0)
+
+    @given(data=_image_and_config())
+    @settings(max_examples=30, deadline=None)
+    def test_squeezed_shape_matches_formula(self, data):
+        image, config, seed = data
+        mask = proposed_mask(config.grid_size, config.erase_per_row,
+                             config.intra_row_min_distance, seed=seed)
+        squeezed, _, _ = erase_and_squeeze_image(image, mask, config.patch_size,
+                                                 config.subpatch_size)
+        expected = squeezed_shape(image.shape, config.patch_size, config.subpatch_size,
+                                  config.erase_per_row)
+        assert squeezed.shape == expected
+        # the squeeze removes exactly the erased fraction of the padded image
+        padded_pixels = expected[0] * expected[1] / (1.0 - config.erase_ratio)
+        assert padded_pixels == pytest.approx(
+            (image.shape[0] + (-image.shape[0]) % config.patch_size)
+            * (image.shape[1] + (-image.shape[1]) % config.patch_size))
+
+
+class TestSamplerInvariants:
+    @given(grid=st.integers(3, 12), erase=st.integers(1, 4), seed=st.integers(0, 5000),
+           delta=st.integers(0, 2))
+    @settings(max_examples=40, deadline=None)
+    def test_masks_always_balanced_and_constraint_respecting(self, grid, erase, seed, delta):
+        erase = min(erase, grid - 1)
+        if erase * (delta + 1) > grid:
+            delta = 0
+        sampler = RowConditionalSampler(grid, erase, intra_row_min_distance=delta)
+        mask = sampler.sample_mask(seed=seed)
+        erased_per_row = (mask == 0).sum(axis=1)
+        # the squeeze step relies on row balance unconditionally
+        assert np.all(erased_per_row == erase)
+        # the intra-row distance constraint (Eq. 1) is guaranteed whenever a
+        # greedy choice can never paint itself into a corner: each chosen
+        # column blocks at most 2·δ+1 candidates, so grid > (T−1)·(2·δ+1)
+        # leaves at least one legal column for every draw.  At tighter
+        # packings the sampler's documented relaxation may kick in.
+        if grid > (erase - 1) * (2 * delta + 1):
+            for row in range(grid):
+                columns = np.flatnonzero(mask[row] == 0)
+                if columns.size > 1:
+                    assert np.all(np.diff(np.sort(columns)) > delta)
+
+    @given(grid=st.integers(3, 10), erase=st.integers(1, 3), seed=st.integers(0, 5000))
+    @settings(max_examples=40, deadline=None)
+    def test_mask_transport_formats_agree(self, grid, erase, seed):
+        erase = min(erase, grid - 1)
+        delta = 1 if erase * 2 <= grid else 0
+        spec = MaskSpec(grid_size=grid, erase_per_row=erase,
+                        intra_row_min_distance=delta, seed=seed)
+        mask = spec.generate()
+        for method in ("bitpack", "rle", "seed"):
+            payload = encode_mask(mask, spec=spec, method=method)
+            assert np.array_equal(decode_mask(payload), mask)
