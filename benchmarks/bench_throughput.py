@@ -1,0 +1,172 @@
+"""Codec-stack throughput benchmark: emits ``BENCH_throughput.json``.
+
+Times the vectorized fast paths (plan-cached erase-and-squeeze, table-driven
+JPEG entropy coding, fused float32 reconstruction) over 256²–1024² gray and
+RGB images, and measures the end-to-end 512×512 RGB JPEG+easz
+encode→decode→reconstruct roundtrip against the frozen seed implementation
+(``seed_reference.py``) on the same machine with the same model weights.
+The seed and fast paths produce bit-identical JPEG payloads (same bpp) and
+reconstructions equal to float32 tolerance (same PSNR), so the speedup is a
+pure wall-clock comparison.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py
+
+The JSON lands in the repository root as ``BENCH_throughput.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from repro.codecs.jpeg import JpegCodec  # noqa: E402
+from repro.core import (  # noqa: E402
+    EaszConfig,
+    EaszReconstructor,
+    get_squeeze_plan,
+    proposed_mask,
+    reconstruct_image,
+)
+from repro.metrics import psnr  # noqa: E402
+
+import seed_reference as seed  # noqa: E402
+
+SIZES = (256, 512, 1024)
+ROUNDTRIP_SIZE = 512  # the acceptance-criterion comparison point
+
+
+def bench_config():
+    """CPU-scale model matching the benchmark suite's default geometry."""
+    return EaszConfig(patch_size=16, subpatch_size=4, erase_per_row=1,
+                      d_model=48, num_heads=4, encoder_blocks=2, decoder_blocks=2,
+                      ffn_mult=2, loss_lambda=0.0)
+
+
+def synthetic_image(size, color, seed_value=0):
+    rng = np.random.default_rng(seed_value)
+    base = rng.random((size, size, 3) if color else (size, size))
+    # blur lightly so JPEG sees photographic-ish statistics, not white noise
+    for axis in (0, 1):
+        base = 0.25 * np.roll(base, 1, axis) + 0.5 * base + 0.25 * np.roll(base, -1, axis)
+    return np.clip(base, 0.0, 1.0)
+
+
+def timeit(fn, repeats=3):
+    fn()  # warm caches (plans, LUTs, BLAS)
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def fast_pipeline(image, mask, config, codec, model):
+    plan = get_squeeze_plan(mask, config.subpatch_size)
+    squeezed, grid_shape, original_shape = plan.squeeze_image(image)
+    compressed = codec.compress(squeezed)
+    decoded = np.clip(np.asarray(codec.decompress(compressed)), 0.0, 1.0)
+    filled = plan.unsqueeze_image(decoded, grid_shape, original_shape)
+    return reconstruct_image(model, filled, mask), compressed
+
+
+def seed_pipeline(image, mask, config, codec, model):
+    squeezed, grid_shape, original_shape = seed.seed_erase_and_squeeze_image(
+        image, mask, config.patch_size, config.subpatch_size)
+    compressed = codec.compress(squeezed)
+    decoded = np.clip(np.asarray(codec.decompress(compressed)), 0.0, 1.0)
+    filled = seed.seed_unsqueeze_image(
+        decoded, mask, config.patch_size, config.subpatch_size, grid_shape, original_shape)
+    return seed.seed_reconstruct_image(model, filled, mask), compressed
+
+
+def stage_timings(image, mask, config, codec, model):
+    """Per-stage fast-path timings for one image."""
+    plan = get_squeeze_plan(mask, config.subpatch_size)
+    squeezed, grid_shape, original_shape = plan.squeeze_image(image)
+    compressed = codec.compress(squeezed)
+    decoded = np.clip(np.asarray(codec.decompress(compressed)), 0.0, 1.0)
+    filled = plan.unsqueeze_image(decoded, grid_shape, original_shape)
+    return {
+        "squeeze_s": timeit(lambda: plan.squeeze_image(image)),
+        "jpeg_encode_s": timeit(lambda: codec.compress(squeezed)),
+        "jpeg_decode_s": timeit(lambda: codec.decompress(compressed)),
+        "unsqueeze_s": timeit(lambda: plan.unsqueeze_image(decoded, grid_shape, original_shape)),
+        "reconstruct_s": timeit(lambda: reconstruct_image(model, filled, mask)),
+        "bpp": 8.0 * compressed.num_bytes / (image.shape[0] * image.shape[1]),
+    }
+
+
+def main():
+    config = bench_config()
+    model = EaszReconstructor(config)
+    codec = JpegCodec(quality=75)
+    seed_codec = seed.SeedJpegCodec(quality=75)
+    mask = proposed_mask(config.grid_size, config.erase_per_row,
+                         config.intra_row_min_distance, seed=0)
+
+    report = {
+        "config": {
+            "patch_size": config.patch_size,
+            "subpatch_size": config.subpatch_size,
+            "erase_per_row": config.erase_per_row,
+            "d_model": config.d_model,
+            "encoder_blocks": config.encoder_blocks,
+            "decoder_blocks": config.decoder_blocks,
+            "jpeg_quality": 75,
+        },
+        "stages": {},
+        "roundtrip_512_rgb": {},
+    }
+
+    for size in SIZES:
+        for color in (False, True):
+            label = f"{size}x{size}_{'rgb' if color else 'gray'}"
+            image = synthetic_image(size, color)
+            report["stages"][label] = stage_timings(image, mask, config, codec, model)
+            print(f"{label}: " + "  ".join(
+                f"{k}={v:.4f}" for k, v in report["stages"][label].items()))
+
+    # --- acceptance comparison: 512x512 RGB roundtrip, fast vs seed ------ #
+    image = synthetic_image(ROUNDTRIP_SIZE, color=True)
+    fast_out, fast_comp = fast_pipeline(image, mask, config, codec, model)
+    seed_out, seed_comp = seed_pipeline(image, mask, config, seed_codec, model)
+    assert fast_comp.payload == seed_comp.payload, "entropy coding is no longer bit-exact"
+
+    fast_s = timeit(lambda: fast_pipeline(image, mask, config, codec, model))
+    seed_s = timeit(lambda: seed_pipeline(image, mask, config, seed_codec, model), repeats=2)
+    pixels = image.shape[0] * image.shape[1]
+    report["roundtrip_512_rgb"] = {
+        "fast_s": fast_s,
+        "seed_s": seed_s,
+        "speedup": seed_s / fast_s,
+        "psnr_fast": float(psnr(image, fast_out)),
+        "psnr_seed": float(psnr(image, seed_out)),
+        "bpp_fast": 8.0 * fast_comp.num_bytes / pixels,
+        "bpp_seed": 8.0 * seed_comp.num_bytes / pixels,
+        "max_abs_diff": float(np.abs(fast_out - seed_out).max()),
+        "payload_bit_exact": True,
+    }
+    rt = report["roundtrip_512_rgb"]
+    print(f"roundtrip 512x512 rgb: fast {fast_s:.3f}s seed {seed_s:.3f}s "
+          f"speedup {rt['speedup']:.2f}x  psnr {rt['psnr_fast']:.3f} vs {rt['psnr_seed']:.3f}  "
+          f"bpp {rt['bpp_fast']:.4f} vs {rt['bpp_seed']:.4f}")
+
+    out_path = REPO_ROOT / "BENCH_throughput.json"
+    out_path.write_text(json.dumps(report, indent=2))
+    print(f"wrote {out_path}")
+    return report
+
+
+if __name__ == "__main__":
+    main()

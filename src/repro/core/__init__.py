@@ -13,8 +13,10 @@ from .adaptive import (
 )
 from .config import EaszConfig
 from .erase_squeeze import (
+    SqueezePlan,
     erase_and_squeeze_image,
     erase_patch,
+    get_squeeze_plan,
     squeeze_patch,
     squeezed_shape,
     unsqueeze_image,
@@ -44,8 +46,10 @@ from .patchify import (
     image_to_patches,
     patch_to_subpatches,
     patches_to_image,
+    patches_to_tokens,
     subpatches_to_patch,
     subpatches_to_tokens,
+    tokens_to_patches,
     tokens_to_subpatches,
     two_stage_patchify,
 )
@@ -121,8 +125,12 @@ __all__ = [
     "subpatches_to_patch",
     "subpatches_to_tokens",
     "tokens_to_subpatches",
+    "patches_to_tokens",
+    "tokens_to_patches",
     "two_stage_patchify",
     "attention_complexity",
+    "SqueezePlan",
+    "get_squeeze_plan",
     "erase_patch",
     "squeeze_patch",
     "unsqueeze_patch",

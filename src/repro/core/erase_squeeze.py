@@ -12,9 +12,18 @@ sub-patch before transformer reconstruction.
 The squeeze requires the mask to erase the *same number* of sub-patches in
 every row (which the row-based conditional sampler guarantees); masks that do
 not satisfy this are rejected with a clear error.
+
+Because one mask is shared by every patch of an image (and typically by many
+images), all per-mask decisions are made **once** in a cached
+:class:`SqueezePlan` holding gather/scatter index arrays; applying the plan
+is a single fancy-index operation over the full
+``(num_patches, grid, grid, b, b[, C])`` sub-patch tensor — no Python loop
+over patches or rows ever runs on the hot path.
 """
 
 from __future__ import annotations
+
+from collections import OrderedDict
 
 import numpy as np
 
@@ -26,6 +35,8 @@ from .patchify import (
 )
 
 __all__ = [
+    "SqueezePlan",
+    "get_squeeze_plan",
     "validate_balanced_mask",
     "erase_patch",
     "squeeze_patch",
@@ -34,6 +45,8 @@ __all__ = [
     "unsqueeze_image",
     "squeezed_shape",
 ]
+
+_FILLS = ("zero", "neighbor", "mean")
 
 
 def validate_balanced_mask(mask):
@@ -51,6 +64,197 @@ def validate_balanced_mask(mask):
     return int(kept_per_row[0])
 
 
+class SqueezePlan:
+    """Precomputed gather/scatter indices for one ``(mask, geometry)`` pair.
+
+    Construction is the only place decisions depend on mask *content*; every
+    ``apply`` method below is a fixed sequence of reshapes, transposes and a
+    single fancy-index gather/scatter over the batched sub-patch tensor.
+    Plans are cached by :func:`get_squeeze_plan`, keyed on the mask bytes and
+    geometry, so repeated images with a shared mask pay the planning cost
+    once.
+    """
+
+    def __init__(self, mask, subpatch_size, direction="horizontal"):
+        if direction not in ("horizontal", "vertical"):
+            raise ValueError("direction must be 'horizontal' or 'vertical'")
+        mask = np.asarray(mask, dtype=bool)
+        # internally the plan always works in the horizontal frame; vertical
+        # squeezes transpose the patch in and out and use the transposed mask
+        work = mask.T if direction == "vertical" else mask
+        self.mask = mask
+        self.direction = direction
+        self.subpatch_size = int(subpatch_size)
+        self.kept_per_row = validate_balanced_mask(work)
+        self.grid = int(work.shape[0])
+        self.patch_size = self.grid * self.subpatch_size
+
+        grid, kept = self.grid, self.kept_per_row
+        # kept columns of each row in ascending order: (grid, kept)
+        self._kept_cols = np.ascontiguousarray(
+            np.argsort(~work, axis=1, kind="stable")[:, :kept]
+        )
+        self._row_index = np.arange(grid)[:, None]
+        self._erased_rows, self._erased_cols = np.nonzero(~work)
+        # neighbour fill: for every grid position, the packed slot to copy —
+        # kept positions map to themselves, erased ones to the nearest kept
+        # column of the same row (ties break to the smaller column, matching
+        # the scalar argmin semantics of the original implementation)
+        if kept:
+            distance = np.abs(self._kept_cols[:, None, :] - np.arange(grid)[None, :, None])
+            self._neighbor_slot = distance.argmin(axis=2)  # (grid, grid)
+        else:
+            self._neighbor_slot = None
+
+    def require_patch_size(self, patch_size):
+        """Raise unless this plan's mask covers ``patch_size``-pixel patches.
+
+        Callers that pair a mask with an externally-configured patch size
+        (the pipeline, the functional wrappers) use this single guard
+        instead of re-deriving the geometry check.
+        """
+        if self.patch_size != patch_size:
+            raise ValueError(
+                f"mask grid {self.grid} with subpatch size {self.subpatch_size} "
+                f"covers {self.patch_size}-pixel patches, not {patch_size}"
+            )
+        return self
+
+    # ------------------------------------------------------------------ #
+    # batched patch-level apply
+    # ------------------------------------------------------------------ #
+    def squeeze_patches(self, patches):
+        """Squeeze a batch of patches ``(P, n, n[, C])`` in one gather."""
+        patches = np.asarray(patches)
+        if self.direction == "vertical":
+            patches = patches.swapaxes(1, 2)
+        count = patches.shape[0]
+        b, grid, kept = self.subpatch_size, self.grid, self.kept_per_row
+        if patches.ndim == 4:
+            channels = patches.shape[3]
+            sub = patches.reshape(count, grid, b, grid, b, channels).transpose(0, 1, 3, 2, 4, 5)
+            packed = sub[:, self._row_index, self._kept_cols]
+            out = packed.transpose(0, 1, 3, 2, 4, 5).reshape(count, grid * b, kept * b, channels)
+        else:
+            sub = patches.reshape(count, grid, b, grid, b).transpose(0, 1, 3, 2, 4)
+            packed = sub[:, self._row_index, self._kept_cols]
+            out = packed.transpose(0, 1, 3, 2, 4).reshape(count, grid * b, kept * b)
+        if self.direction == "vertical":
+            out = out.swapaxes(1, 2)
+        return out
+
+    def unsqueeze_patches(self, squeezed, fill="zero"):
+        """Scatter a batch of squeezed patches back to full patches.
+
+        ``fill`` controls the content of erased positions before
+        reconstruction: ``"zero"`` (paper default — the reconstructor
+        receives zero vectors), ``"neighbor"`` (copy the nearest kept
+        sub-patch in the same row, the alternative shown in Fig. 2(b)
+        right), or ``"mean"`` (row mean).
+        """
+        if fill not in _FILLS:
+            raise ValueError("fill must be 'zero', 'neighbor' or 'mean'")
+        squeezed = np.asarray(squeezed, dtype=np.float64)
+        if self.direction == "vertical":
+            squeezed = squeezed.swapaxes(1, 2)
+        count = squeezed.shape[0]
+        b, grid, kept = self.subpatch_size, self.grid, self.kept_per_row
+        color = squeezed.ndim == 4
+        tail = (squeezed.shape[3],) if color else ()
+        if color:
+            packed = squeezed.reshape(count, grid, b, kept, b, *tail).transpose(0, 1, 3, 2, 4, 5)
+        else:
+            packed = squeezed.reshape(count, grid, b, kept, b).transpose(0, 1, 3, 2, 4)
+        if kept and fill == "neighbor":
+            sub = packed[:, self._row_index, self._neighbor_slot]
+        else:
+            sub = np.zeros((count, grid, grid, b, b) + tail)
+            if kept:
+                sub[:, self._row_index, self._kept_cols] = packed
+                if fill == "mean":
+                    row_means = packed.mean(axis=2)  # (P, grid, b, b[, C])
+                    sub[:, self._erased_rows, self._erased_cols] = row_means[:, self._erased_rows]
+        if color:
+            out = sub.transpose(0, 1, 3, 2, 4, 5).reshape(count, grid * b, grid * b, *tail)
+        else:
+            out = sub.transpose(0, 1, 3, 2, 4).reshape(count, grid * b, grid * b)
+        if self.direction == "vertical":
+            out = out.swapaxes(1, 2)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # image-level apply
+    # ------------------------------------------------------------------ #
+    def squeeze_image(self, image):
+        """Erase-and-squeeze every patch of ``image`` with the shared mask.
+
+        Returns ``(squeezed_image, grid_shape, original_shape)`` — the
+        latter two are needed by :meth:`unsqueeze_image`.
+        """
+        patches, grid_shape, original_shape = image_to_patches(image, self.patch_size)
+        squeezed = self.squeeze_patches(patches)
+        rows, cols = grid_shape
+        ph, pw = squeezed.shape[1], squeezed.shape[2]
+        if squeezed.ndim == 4:
+            channels = squeezed.shape[3]
+            grid = squeezed.reshape(rows, cols, ph, pw, channels)
+            merged = grid.transpose(0, 2, 1, 3, 4).reshape(rows * ph, cols * pw, channels)
+        else:
+            grid = squeezed.reshape(rows, cols, ph, pw)
+            merged = grid.transpose(0, 2, 1, 3).reshape(rows * ph, cols * pw)
+        return merged, grid_shape, original_shape
+
+    def unsqueeze_image(self, squeezed, grid_shape, original_shape, fill="zero"):
+        """Inverse of :meth:`squeeze_image` (erased slots filled per ``fill``)."""
+        if fill not in _FILLS:
+            raise ValueError("fill must be 'zero', 'neighbor' or 'mean'")
+        squeezed = np.asarray(squeezed)
+        rows, cols = grid_shape
+        b, kept = self.subpatch_size, self.kept_per_row
+        if self.direction == "horizontal":
+            ph, pw = self.patch_size, kept * b
+        else:
+            ph, pw = kept * b, self.patch_size
+        if squeezed.ndim == 3:
+            channels = squeezed.shape[2]
+            patches = squeezed.reshape(rows, ph, cols, pw, channels).transpose(0, 2, 1, 3, 4)
+            patches = patches.reshape(rows * cols, ph, pw, channels)
+        else:
+            patches = squeezed.reshape(rows, ph, cols, pw).transpose(0, 2, 1, 3)
+            patches = patches.reshape(rows * cols, ph, pw)
+        restored = self.unsqueeze_patches(patches, fill=fill)
+        return patches_to_image(restored, grid_shape, original_shape)
+
+
+# ---------------------------------------------------------------------- #
+# plan cache
+# ---------------------------------------------------------------------- #
+_PLAN_CACHE = OrderedDict()
+_PLAN_CACHE_MAX = 128
+
+
+def get_squeeze_plan(mask, subpatch_size, direction="horizontal"):
+    """Return the (cached) :class:`SqueezePlan` for a mask and geometry.
+
+    Plans are keyed on the mask bytes, mask shape, sub-patch size and
+    direction; the cache holds the most recent ``128`` plans.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    key = (mask.tobytes(), mask.shape, int(subpatch_size), direction)
+    plan = _PLAN_CACHE.get(key)
+    if plan is None:
+        plan = SqueezePlan(mask, subpatch_size, direction)
+        _PLAN_CACHE[key] = plan
+        if len(_PLAN_CACHE) > _PLAN_CACHE_MAX:
+            _PLAN_CACHE.popitem(last=False)
+    else:
+        _PLAN_CACHE.move_to_end(key)
+    return plan
+
+
+# ---------------------------------------------------------------------- #
+# functional API (thin wrappers over cached plans)
+# ---------------------------------------------------------------------- #
 def erase_patch(patch, mask, subpatch_size, fill_value=0.0):
     """Zero out the erased sub-patches of a patch (no squeezing).
 
@@ -72,81 +276,19 @@ def squeeze_patch(patch, mask, subpatch_size, direction="horizontal"):
         ``"horizontal"`` packs survivors within each sub-patch row (output is
         ``n × kept·b``); ``"vertical"`` operates on columns instead.
     """
-    if direction not in ("horizontal", "vertical"):
-        raise ValueError("direction must be 'horizontal' or 'vertical'")
-    mask = np.asarray(mask, dtype=bool)
-    if direction == "vertical":
-        transposed = patch.swapaxes(0, 1) if patch.ndim == 2 else patch.transpose(1, 0, 2)
-        squeezed = squeeze_patch(transposed, mask.T, subpatch_size, "horizontal")
-        return squeezed.swapaxes(0, 1) if squeezed.ndim == 2 else squeezed.transpose(1, 0, 2)
-    kept_per_row = validate_balanced_mask(mask)
-    subpatches = patch_to_subpatches(patch, subpatch_size)
-    grid = mask.shape[0]
-    rows = []
-    for row in range(grid):
-        kept = subpatches[row][mask[row]]
-        rows.append(kept)
-    packed = np.stack(rows)  # (grid, kept_per_row, b, b[, C])
-    return subpatches_to_patch_rect(packed, kept_per_row)
-
-
-def subpatches_to_patch_rect(subpatch_rows, kept_per_row):
-    """Assemble a (possibly non-square) grid of sub-patches into an image block."""
-    subpatch_rows = np.asarray(subpatch_rows)
-    grid_rows = subpatch_rows.shape[0]
-    b = subpatch_rows.shape[2]
-    if subpatch_rows.ndim == 5:
-        channels = subpatch_rows.shape[4]
-        block = subpatch_rows.transpose(0, 2, 1, 3, 4).reshape(grid_rows * b, kept_per_row * b, channels)
-    else:
-        block = subpatch_rows.transpose(0, 2, 1, 3).reshape(grid_rows * b, kept_per_row * b)
-    return block
-
-
-def _rect_to_subpatch_rows(block, kept_per_row, subpatch_size):
-    """Inverse of :func:`subpatches_to_patch_rect`."""
-    block = np.asarray(block)
-    grid_rows = block.shape[0] // subpatch_size
-    if block.ndim == 3:
-        channels = block.shape[2]
-        rows = block.reshape(grid_rows, subpatch_size, kept_per_row, subpatch_size, channels)
-        return rows.transpose(0, 2, 1, 3, 4)
-    rows = block.reshape(grid_rows, subpatch_size, kept_per_row, subpatch_size)
-    return rows.transpose(0, 2, 1, 3)
+    plan = get_squeeze_plan(mask, subpatch_size, direction)
+    return plan.squeeze_patches(np.asarray(patch)[None])[0]
 
 
 def unsqueeze_patch(squeezed, mask, subpatch_size, fill="zero"):
     """Scatter squeezed sub-patches back to their original grid positions.
 
-    ``fill`` controls the content of erased positions before reconstruction:
-    ``"zero"`` (paper default — the reconstructor receives zero vectors),
-    ``"neighbor"`` (copy the nearest kept sub-patch in the same row, the
-    alternative shown in Fig. 2(b) right), or ``"mean"`` (row mean).
+    See :meth:`SqueezePlan.unsqueeze_patches` for the ``fill`` semantics.
     """
-    if fill not in ("zero", "neighbor", "mean"):
+    if fill not in _FILLS:
         raise ValueError("fill must be 'zero', 'neighbor' or 'mean'")
-    mask = np.asarray(mask, dtype=bool)
-    kept_per_row = validate_balanced_mask(mask)
-    grid = mask.shape[0]
-    packed = _rect_to_subpatch_rows(squeezed, kept_per_row, subpatch_size)
-    sample = packed[0, 0]
-    full_shape = (grid, grid) + sample.shape
-    subpatches = np.zeros(full_shape, dtype=np.float64)
-    for row in range(grid):
-        kept_columns = np.flatnonzero(mask[row])
-        subpatches[row, kept_columns] = packed[row]
-        if fill == "zero":
-            continue
-        erased_columns = np.flatnonzero(~mask[row])
-        if kept_columns.size == 0:
-            continue
-        for column in erased_columns:
-            if fill == "neighbor":
-                nearest = kept_columns[np.argmin(np.abs(kept_columns - column))]
-                subpatches[row, column] = subpatches[row, nearest]
-            else:  # mean
-                subpatches[row, column] = packed[row].mean(axis=0)
-    return subpatches_to_patch(subpatches)
+    plan = get_squeeze_plan(mask, subpatch_size)
+    return plan.unsqueeze_patches(np.asarray(squeezed)[None], fill=fill)[0]
 
 
 def squeezed_shape(image_shape, patch_size, subpatch_size, erase_per_row,
@@ -174,49 +316,12 @@ def erase_and_squeeze_image(image, mask, patch_size, subpatch_size, direction="h
     Returns ``(squeezed_image, grid_shape, original_shape)`` — the latter two
     are needed by :func:`unsqueeze_image`.
     """
-    patches, grid_shape, original_shape = image_to_patches(image, patch_size)
-    squeezed_patches = np.stack([
-        squeeze_patch(patch, mask, subpatch_size, direction) for patch in patches
-    ])
-    rows, cols = grid_shape
-    ph, pw = squeezed_patches.shape[1], squeezed_patches.shape[2]
-    if squeezed_patches.ndim == 4:
-        channels = squeezed_patches.shape[3]
-        grid = squeezed_patches.reshape(rows, cols, ph, pw, channels)
-        squeezed = grid.transpose(0, 2, 1, 3, 4).reshape(rows * ph, cols * pw, channels)
-    else:
-        grid = squeezed_patches.reshape(rows, cols, ph, pw)
-        squeezed = grid.transpose(0, 2, 1, 3).reshape(rows * ph, cols * pw)
-    return squeezed, grid_shape, original_shape
+    plan = get_squeeze_plan(mask, subpatch_size, direction).require_patch_size(patch_size)
+    return plan.squeeze_image(image)
 
 
 def unsqueeze_image(squeezed, mask, patch_size, subpatch_size, grid_shape, original_shape,
                     fill="zero", direction="horizontal"):
     """Inverse of :func:`erase_and_squeeze_image` (erased slots filled per ``fill``)."""
-    mask = np.asarray(mask, dtype=bool)
-    rows, cols = grid_shape
-    grid = mask.shape[0]
-    kept = int(mask.sum(axis=1)[0])
-    if direction == "horizontal":
-        ph, pw = patch_size, kept * subpatch_size
-    else:
-        ph, pw = kept * subpatch_size, patch_size
-    if squeezed.ndim == 3:
-        channels = squeezed.shape[2]
-        patches = squeezed.reshape(rows, ph, cols, pw, channels).transpose(0, 2, 1, 3, 4)
-        patches = patches.reshape(rows * cols, ph, pw, channels)
-    else:
-        patches = squeezed.reshape(rows, ph, cols, pw).transpose(0, 2, 1, 3)
-        patches = patches.reshape(rows * cols, ph, pw)
-    if direction == "vertical":
-        restored = [
-            unsqueeze_patch(
-                patch.swapaxes(0, 1) if patch.ndim == 2 else patch.transpose(1, 0, 2),
-                mask.T, subpatch_size, fill,
-            )
-            for patch in patches
-        ]
-        restored = [p.swapaxes(0, 1) if p.ndim == 2 else p.transpose(1, 0, 2) for p in restored]
-    else:
-        restored = [unsqueeze_patch(patch, mask, subpatch_size, fill) for patch in patches]
-    return patches_to_image(np.stack(restored), grid_shape, original_shape)
+    plan = get_squeeze_plan(mask, subpatch_size, direction).require_patch_size(patch_size)
+    return plan.unsqueeze_image(squeezed, grid_shape, original_shape, fill=fill)

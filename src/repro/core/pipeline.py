@@ -24,7 +24,7 @@ from ..codecs.base import Codec, ComplexityProfile, CompressedImage
 from ..codecs.jpeg import JpegCodec
 from ..image import image_num_pixels, to_float
 from .config import EaszConfig
-from .erase_squeeze import erase_and_squeeze_image, unsqueeze_image
+from .erase_squeeze import get_squeeze_plan
 from .masks import deserialize_mask, proposed_mask, random_mask, serialize_mask
 from .reconstruction import EaszReconstructor, reconstruct_image
 
@@ -96,9 +96,8 @@ class EaszEncoder:
         image = to_float(image)
         if mask is None:
             mask = self.generate_mask()
-        squeezed, grid_shape, original_shape = erase_and_squeeze_image(
-            image, mask, cfg.patch_size, cfg.subpatch_size
-        )
+        plan = get_squeeze_plan(mask, cfg.subpatch_size).require_patch_size(cfg.patch_size)
+        squeezed, grid_shape, original_shape = plan.squeeze_image(image)
         compressed = self.base_codec.compress(squeezed)
         return EaszCompressed(
             codec_payload=compressed,
@@ -155,9 +154,9 @@ class EaszDecoder:
             original_spatial[0] + (-original_spatial[0]) % cfg.patch_size,
             original_spatial[1] + (-original_spatial[1]) % cfg.patch_size,
         )
-        filled = unsqueeze_image(
-            squeezed, mask, cfg.patch_size, cfg.subpatch_size,
-            compressed.grid_shape,
+        plan = get_squeeze_plan(mask, cfg.subpatch_size).require_patch_size(cfg.patch_size)
+        filled = plan.unsqueeze_image(
+            squeezed, compressed.grid_shape,
             padded_original + tuple(compressed.original_shape[2:]),
             fill=self.fill,
         )

@@ -23,11 +23,9 @@ from ..image import is_color, to_float
 from .config import EaszConfig
 from .patchify import (
     image_to_patches,
-    patch_to_subpatches,
     patches_to_image,
-    subpatches_to_patch,
-    subpatches_to_tokens,
-    tokens_to_subpatches,
+    patches_to_tokens,
+    tokens_to_patches,
 )
 
 __all__ = ["EaszReconstructor", "reconstruct_image"]
@@ -50,6 +48,30 @@ class EaszReconstructor(nn.Module):
         self.decoder = nn.TransformerStack(cfg.decoder_blocks, cfg.d_model, cfg.num_heads,
                                            cfg.ffn_mult, cfg.dropout, rng=rng)
         self.output_projection = nn.Linear(cfg.d_model, cfg.token_dim, rng=rng)
+        # per-mask plan cache: kept indices + (tokens, kept) scatter matrix,
+        # keyed on the mask bytes so repeated calls with a shared mask skip
+        # both the flatnonzero and the scatter-matrix rebuild
+        self._mask_plan_cache = {}
+
+    # ------------------------------------------------------------------ #
+    def _mask_plan(self, mask):
+        """Cached ``(kept_indices, scatter_tensor)`` for a shared mask."""
+        flat_mask = np.asarray(mask, dtype=bool).reshape(-1)
+        if flat_mask.size != self.config.tokens_per_patch:
+            raise ValueError(
+                f"mask has {flat_mask.size} entries, expected {self.config.tokens_per_patch}"
+            )
+        key = flat_mask.tobytes()
+        plan = self._mask_plan_cache.get(key)
+        if plan is None:
+            kept_indices = np.flatnonzero(flat_mask)
+            scatter = np.zeros((flat_mask.size, kept_indices.size))
+            scatter[kept_indices, np.arange(kept_indices.size)] = 1.0
+            plan = (kept_indices, nn.Tensor(scatter))
+            if len(self._mask_plan_cache) >= 64:
+                self._mask_plan_cache.clear()
+            self._mask_plan_cache[key] = plan
+        return plan
 
     # ------------------------------------------------------------------ #
     def forward(self, tokens, mask):
@@ -72,14 +94,7 @@ class EaszReconstructor(nn.Module):
         re-predicted; callers typically keep the original kept pixels).
         """
         tokens = nn.as_tensor(tokens)
-        cfg = self.config
-        flat_mask = np.asarray(mask, dtype=bool).reshape(-1)
-        if flat_mask.size != cfg.tokens_per_patch:
-            raise ValueError(
-                f"mask has {flat_mask.size} entries, expected {cfg.tokens_per_patch}"
-            )
-        kept_indices = np.flatnonzero(flat_mask)
-        batch = tokens.shape[0]
+        kept_indices, scatter = self._mask_plan(mask)
 
         kept_tokens = tokens[:, kept_indices, :]
         embedded = self.input_projection(kept_tokens) + self.positional_embedding[kept_indices]
@@ -88,12 +103,140 @@ class EaszReconstructor(nn.Module):
         # Scatter encoded features back to their grid positions; erased
         # positions receive zero vectors (plus positional embeddings), as in
         # the paper's Fig. 5.
-        scatter = np.zeros((cfg.tokens_per_patch, kept_indices.size))
-        scatter[kept_indices, np.arange(kept_indices.size)] = 1.0
-        full_features = nn.Tensor(scatter) @ encoded  # (batch, tokens, d_model) via broadcasting
+        full_features = scatter @ encoded  # (batch, tokens, d_model) via broadcasting
         full_features = full_features + self.positional_embedding
         decoded = self.decoder(full_features)
         return self.output_projection(decoded).sigmoid()
+
+    # ------------------------------------------------------------------ #
+    def _forward_fast(self, tokens, kept_indices):
+        """Inference-only forward pass: float32, fused in-place elementwise.
+
+        Mirrors :meth:`forward` op for op (pre-norm blocks, tanh-GELU,
+        max-subtracted softmax) but skips the autograd graph, halves the
+        memory traffic by computing in single precision, and reuses buffers
+        for the elementwise chains.  Only valid when dropout is inactive;
+        :meth:`reconstruct_tokens` falls back to the autograd path otherwise.
+
+        The float32 weight casts (and the fused QKV concatenations) are
+        cached across calls and invalidated by a cheap parameter
+        fingerprint: the identity of every ``p.data`` array (the optimizer
+        and ``load_state_dict`` rebind it) *and* its element sum (which
+        catches in-place mutation such as ``p.data *= 0.5``).  Computing
+        the sums costs microseconds next to a forward pass.
+        """
+        f32 = np.float32
+        token = tuple((id(p.data), float(p.data.sum())) for p in self.parameters())
+        cache = self.__dict__.get("_f32_weight_cache")
+        if cache is None or cache["token"] != token:
+            cache = {"token": token}
+            self._f32_weight_cache = cache
+
+        def lin_params(layer):
+            entry = cache.get(id(layer))
+            if entry is None:
+                entry = (layer.weight.data.astype(f32), layer.bias.data.astype(f32))
+                cache[id(layer)] = entry
+            return entry
+
+        def norm_params(norm):
+            entry = cache.get(id(norm))
+            if entry is None:
+                entry = (norm.weight.data.astype(f32), norm.bias.data.astype(f32))
+                cache[id(norm)] = entry
+            return entry
+
+        def linear(x, layer):
+            weight, bias = lin_params(layer)
+            out = x.reshape(-1, x.shape[-1]) @ weight.T
+            out += bias
+            return out.reshape(x.shape[:-1] + (weight.shape[0],))
+
+        def layer_norm(x, norm):
+            weight, bias = norm_params(norm)
+            centred = x - x.mean(axis=-1, keepdims=True)
+            scale = np.mean(centred * centred, axis=-1, keepdims=True)
+            scale += f32(norm.eps)
+            np.sqrt(scale, out=scale)
+            centred /= scale
+            centred *= weight
+            centred += bias
+            return centred
+
+        def gelu(x):
+            t = x * x
+            t *= x
+            t *= f32(0.044715)
+            t += x
+            t *= f32(np.sqrt(2.0 / np.pi))
+            np.tanh(t, out=t)
+            t += f32(1.0)
+            t *= f32(0.5)
+            t *= x
+            return t
+
+        def qkv_params(attn):
+            entry = cache.get(("qkv", id(attn)))
+            if entry is None:
+                entry = (
+                    np.concatenate([
+                        attn.query.weight.data, attn.key.weight.data,
+                        attn.value.weight.data,
+                    ]).astype(f32),
+                    np.concatenate([
+                        attn.query.bias.data, attn.key.bias.data, attn.value.bias.data,
+                    ]).astype(f32),
+                )
+                cache[("qkv", id(attn))] = entry
+            return entry
+
+        def attention(x, attn):
+            batch, seq, d_model = x.shape
+            heads, head_dim = attn.num_heads, attn.head_dim
+            # one fused GEMM for the three input projections
+            qkv_weight, qkv_bias = qkv_params(attn)
+            qkv = x.reshape(-1, d_model) @ qkv_weight.T
+            qkv += qkv_bias
+            qkv = qkv.reshape(batch, seq, 3, heads, head_dim).transpose(2, 0, 3, 1, 4)
+            query, key, value = qkv[0], qkv[1], qkv[2]
+            scores = query @ key.transpose(0, 1, 3, 2)
+            scores *= f32(1.0 / np.sqrt(head_dim))
+            scores -= scores.max(axis=-1, keepdims=True)
+            np.exp(scores, out=scores)
+            scores /= scores.sum(axis=-1, keepdims=True)
+            merged = (scores @ value).transpose(0, 2, 1, 3).reshape(batch, seq, d_model)
+            return linear(merged, attn.out)
+
+        def block_forward(x, block):
+            # residuals accumulate in place: the attention/FFN outputs are
+            # fresh buffers and x is not aliased elsewhere
+            attended = attention(layer_norm(x, block.norm_attn), block.attention)
+            attended += x
+            hidden = linear(layer_norm(attended, block.norm_ff), block.feed_forward.net[0])
+            out = linear(gelu(hidden), block.feed_forward.net[2])
+            out += attended
+            return layer_norm(out, block.norm_out)
+
+        cfg = self.config
+        positional = cache.get("positional")
+        if positional is None:
+            positional = self.positional_embedding.data.astype(f32)
+            cache["positional"] = positional
+        encoded = linear(tokens[:, kept_indices, :].astype(f32), self.input_projection)
+        encoded += positional[kept_indices]
+        for block in self.encoder.blocks():
+            encoded = block_forward(encoded, block)
+        full = np.zeros((tokens.shape[0], cfg.tokens_per_patch, cfg.d_model), dtype=f32)
+        full[:, kept_indices, :] = encoded
+        full += positional
+        for block in self.decoder.blocks():
+            full = block_forward(full, block)
+        out = linear(full, self.output_projection)
+        np.negative(out, out)
+        np.exp(out, out)
+        out += f32(1.0)
+        np.reciprocal(out, out)
+        return out.astype(np.float64)
 
     # ------------------------------------------------------------------ #
     def reconstruct_tokens(self, tokens, mask, keep_original=True):
@@ -102,14 +245,31 @@ class EaszReconstructor(nn.Module):
         When ``keep_original`` is true the returned array keeps the original
         values at kept positions and only substitutes predictions at erased
         positions (this is how the server-side pipeline uses the model).
+
+        Inference runs through the fused float32 fast path whenever dropout
+        is inactive (always, with the default configuration); gradients are
+        never tracked either way.
         """
-        with nn.no_grad():
-            predicted = self.forward(tokens, mask).data
+        tokens = np.asarray(tokens)
+        kept_indices, _ = self._mask_plan(mask)
+        if self.config.dropout == 0.0 or not self.training:
+            # process the batch in cache-friendly chunks: the float32
+            # working set of a full image batch spills L2/L3 and the
+            # elementwise chains become memory-bound
+            chunk = 512
+            if tokens.shape[0] <= chunk:
+                predicted = self._forward_fast(tokens, kept_indices)
+            else:
+                predicted = np.concatenate([
+                    self._forward_fast(tokens[start:start + chunk], kept_indices)
+                    for start in range(0, tokens.shape[0], chunk)
+                ])
+        else:
+            with nn.no_grad():
+                predicted = np.array(self.forward(tokens, mask).data)
         if keep_original:
             flat_mask = np.asarray(mask, dtype=bool).reshape(-1)
-            output = np.array(predicted)
-            output[:, flat_mask, :] = np.asarray(tokens)[:, flat_mask, :]
-            return output
+            predicted[:, flat_mask, :] = tokens[:, flat_mask, :]
         return predicted
 
     # ------------------------------------------------------------------ #
@@ -144,28 +304,29 @@ def reconstruct_image(model, filled_image, mask, keep_original=True):
     mask:
         The shared sub-patch mask used on the edge side (1 = kept).
 
-    RGB images are processed channel-by-channel when the model was built with
-    ``channels=1`` (the default), otherwise jointly.
+    RGB images are processed with the channels folded into the batch
+    dimension when the model was built with ``channels=1`` (the default) —
+    one model call covers all three channels — otherwise jointly as RGB
+    tokens.  Patch tokenization and reassembly are single batched
+    reshape/transpose operations; there is no per-patch or per-channel
+    Python loop.
     """
     cfg = model.config
     filled_image = to_float(filled_image)
-    if is_color(filled_image) and cfg.channels == 1:
-        channels = [reconstruct_image(model, filled_image[..., c], mask, keep_original)
-                    for c in range(3)]
-        return np.stack(channels, axis=-1)
-    if not is_color(filled_image) and cfg.channels == 3:
+    color = is_color(filled_image)
+    if not color and cfg.channels == 3:
         raise ValueError("model expects RGB tokens but received a grayscale image")
 
     patches, grid_shape, original_shape = image_to_patches(filled_image, cfg.patch_size)
-    token_batches = np.stack([
-        subpatches_to_tokens(patch_to_subpatches(patch, cfg.subpatch_size))
-        for patch in patches
-    ])
-    reconstructed_tokens = model.reconstruct_tokens(token_batches, mask, keep_original)
-    rebuilt_patches = []
-    for tokens in reconstructed_tokens:
-        subpatches = tokens_to_subpatches(tokens, cfg.grid_size, cfg.subpatch_size,
-                                          cfg.channels)
-        rebuilt_patches.append(subpatches_to_patch(subpatches))
-    image = patches_to_image(np.stack(rebuilt_patches), grid_shape, original_shape)
+    if color and cfg.channels == 1:
+        # fold the 3 channels into the batch: (P, n, n, 3) -> (3·P, n, n)
+        num_patches = patches.shape[0]
+        patches = patches.transpose(3, 0, 1, 2).reshape(-1, cfg.patch_size, cfg.patch_size)
+    tokens = patches_to_tokens(patches, cfg.subpatch_size)
+    reconstructed = model.reconstruct_tokens(tokens, mask, keep_original)
+    rebuilt = tokens_to_patches(reconstructed, cfg.grid_size, cfg.subpatch_size, cfg.channels)
+    if color and cfg.channels == 1:
+        rebuilt = rebuilt.reshape(3, num_patches, cfg.patch_size, cfg.patch_size)
+        rebuilt = rebuilt.transpose(1, 2, 3, 0)
+    image = patches_to_image(rebuilt, grid_shape, original_shape)
     return np.clip(image, 0.0, 1.0)

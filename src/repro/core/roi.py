@@ -26,7 +26,7 @@ from ..codecs.base import CompressedImage
 from ..codecs.jpeg import JpegCodec
 from ..image import image_num_pixels, to_float
 from .config import EaszConfig
-from .erase_squeeze import squeeze_patch, unsqueeze_patch
+from .erase_squeeze import get_squeeze_plan
 from .masks import proposed_mask
 from .patchify import image_to_patches, patches_to_image
 from .reconstruction import EaszReconstructor, reconstruct_image
@@ -210,9 +210,14 @@ class RoiEaszEncoder:
             member_indices = np.flatnonzero(flat_levels == level)
             if member_indices.size == 0:
                 continue
-            squeezed = [squeeze_patch(patches[i], mask, cfg.subpatch_size)
-                        for i in member_indices]
-            strip = np.concatenate(squeezed, axis=1)
+            plan = get_squeeze_plan(mask, cfg.subpatch_size).require_patch_size(cfg.patch_size)
+            squeezed = plan.squeeze_patches(patches[member_indices])
+            # lay the group's squeezed patches side by side as one strip
+            if squeezed.ndim == 4:
+                strip = squeezed.transpose(1, 0, 2, 3).reshape(
+                    squeezed.shape[1], -1, squeezed.shape[3])
+            else:
+                strip = squeezed.transpose(1, 0, 2).reshape(squeezed.shape[1], -1)
             level_payloads[level] = self.base_codec.compress(strip)
             level_masks[level] = encode_mask(mask)
         return RoiCompressed(
@@ -257,14 +262,19 @@ class RoiEaszDecoder:
             mask = decode_mask(compressed.level_masks[level])
             level_masks[level] = mask
             strip = np.clip(np.asarray(self.base_codec.decompress(payload)), 0.0, 1.0)
-            kept = int(mask.sum(axis=1)[0])
-            width = kept * compressed.subpatch_size
+            plan = get_squeeze_plan(mask, compressed.subpatch_size)
+            plan.require_patch_size(compressed.patch_size)
+            width = plan.kept_per_row * compressed.subpatch_size
             member_indices = np.flatnonzero(flat_levels == level)
-            for position, patch_index in enumerate(member_indices):
-                block = strip[:, position * width:(position + 1) * width, ...]
-                filled_patches[patch_index] = unsqueeze_patch(
-                    block, mask, compressed.subpatch_size, fill=self.fill
-                )
+            # split the strip back into the group's squeezed patches and
+            # unsqueeze the whole group in one batched scatter
+            if strip.ndim == 3:
+                blocks = strip.reshape(strip.shape[0], member_indices.size, width,
+                                       strip.shape[2]).transpose(1, 0, 2, 3)
+            else:
+                blocks = strip.reshape(strip.shape[0], member_indices.size, width)
+                blocks = blocks.transpose(1, 0, 2)
+            filled_patches[member_indices] = plan.unsqueeze_patches(blocks, fill=self.fill)
 
         padded_shape = (rows * n, cols * n) + tuple(compressed.original_shape[2:])
         filled = patches_to_image(filled_patches, compressed.grid_shape, padded_shape)

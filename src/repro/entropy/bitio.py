@@ -3,11 +3,25 @@
 The JPEG and BPG-proxy codecs serialise their symbol streams through
 :class:`BitWriter` / :class:`BitReader`, which pack bits MSB-first into a
 ``bytes`` object.
+
+Both classes operate on masked integer accumulators rather than per-bit
+loops: :meth:`BitWriter.write_bits` shifts whole fields into a pending
+integer and flushes complete bytes in bulk, :meth:`BitReader.read_bits`
+extracts whole fields from a byte-slice in one ``int.from_bytes`` call, and
+:meth:`BitWriter.write_tokens` packs an entire numpy ``(value, length)``
+symbol stream in a handful of vectorized operations — the fast path the
+table-driven JPEG entropy coder relies on.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 __all__ = ["BitWriter", "BitReader"]
+
+# Flush the pending accumulator once it holds this many bits; keeps the
+# Python ints small so shift/or stay O(1) amortised.
+_FLUSH_BITS = 4096
 
 
 class BitWriter:
@@ -15,41 +29,90 @@ class BitWriter:
 
     def __init__(self):
         self._bytes = bytearray()
-        self._current = 0
-        self._count = 0
+        self._acc = 0  # pending bits, oldest at the most-significant end
+        self._nbits = 0
+
+    def _flush(self):
+        """Move all complete bytes from the accumulator into the buffer."""
+        whole = self._nbits >> 3
+        if whole:
+            rem = self._nbits & 7
+            self._bytes += (self._acc >> rem).to_bytes(whole, "big")
+            self._acc &= (1 << rem) - 1
+            self._nbits = rem
 
     def write_bit(self, bit):
         """Append a single bit (0 or 1)."""
-        self._current = (self._current << 1) | (1 if bit else 0)
-        self._count += 1
-        if self._count == 8:
-            self._bytes.append(self._current)
-            self._current = 0
-            self._count = 0
+        self._acc = (self._acc << 1) | (1 if bit else 0)
+        self._nbits += 1
+        if self._nbits >= _FLUSH_BITS:
+            self._flush()
 
     def write_bits(self, value, num_bits):
         """Append ``num_bits`` bits of ``value``, most significant bit first."""
         if num_bits < 0:
             raise ValueError("num_bits must be non-negative")
-        for shift in range(num_bits - 1, -1, -1):
-            self.write_bit((value >> shift) & 1)
+        if num_bits == 0:
+            return
+        self._acc = (self._acc << num_bits) | (int(value) & ((1 << num_bits) - 1))
+        self._nbits += num_bits
+        if self._nbits >= _FLUSH_BITS:
+            self._flush()
 
     def write_unary(self, value):
         """Append ``value`` in unary coding (``value`` ones then a zero)."""
-        for _ in range(value):
-            self.write_bit(1)
-        self.write_bit(0)
+        self.write_bits(((1 << value) - 1) << 1, value + 1)
+
+    def write_tokens(self, values, lengths):
+        """Append a whole stream of MSB-first bit-fields in one vectorized op.
+
+        ``values`` and ``lengths`` are equal-length integer arrays; token ``i``
+        contributes the low ``lengths[i]`` bits of ``values[i]``, exactly as a
+        sequence of :meth:`write_bits` calls would.  Each length must be at
+        most 64 (JPEG tokens never exceed 27 bits).
+        """
+        values = np.asarray(values, dtype=np.uint64)
+        lengths = np.asarray(lengths, dtype=np.int64)
+        if values.size == 0:
+            return
+        total = int(lengths.sum())
+        if total == 0:
+            return
+        ends = np.cumsum(lengths)
+        starts = ends - lengths
+        # expand every token into its bits: bit j of the stream belongs to
+        # token ``owner[j]`` at (MSB-first) offset ``j - starts[owner[j]]``
+        owner = np.repeat(np.arange(values.size, dtype=np.int64), lengths)
+        offsets = np.arange(total, dtype=np.int64) - starts[owner]
+        shifts = (lengths[owner] - 1 - offsets).astype(np.uint64)
+        bits = ((values[owner] >> shifts) & np.uint64(1)).astype(np.uint8)
+        if self._nbits:
+            pending = np.frombuffer(
+                self._acc.to_bytes((self._nbits + 7) >> 3, "big"), dtype=np.uint8
+            )
+            bits = np.concatenate([np.unpackbits(pending)[-self._nbits:], bits])
+            total += self._nbits
+        whole = total >> 3
+        rem = total & 7
+        if whole:
+            self._bytes += np.packbits(bits[: whole * 8]).tobytes()
+        if rem:
+            self._acc = int(np.packbits(bits[whole * 8:])[0]) >> (8 - rem)
+        else:
+            self._acc = 0
+        self._nbits = rem
 
     @property
     def bit_length(self):
         """Number of bits written so far (before padding)."""
-        return len(self._bytes) * 8 + self._count
+        return len(self._bytes) * 8 + self._nbits
 
     def getvalue(self):
         """Return the bytes written so far, zero-padding the final byte."""
         data = bytearray(self._bytes)
-        if self._count:
-            data.append(self._current << (8 - self._count))
+        if self._nbits:
+            nbytes = (self._nbits + 7) >> 3
+            data += (self._acc << (nbytes * 8 - self._nbits)).to_bytes(nbytes, "big")
         return bytes(data)
 
 
@@ -58,23 +121,75 @@ class BitReader:
 
     def __init__(self, data):
         self._data = bytes(data)
+        self._total = len(self._data) * 8
         self._pos = 0  # bit position
+        self._words = None  # lazy 32-bit window view (see as_words32)
 
     def read_bit(self):
         """Read one bit; returns 0 past the end of the buffer."""
-        byte_index = self._pos >> 3
-        if byte_index >= len(self._data):
+        pos = self._pos
+        if pos >= self._total:
             return 0
-        bit = (self._data[byte_index] >> (7 - (self._pos & 7))) & 1
-        self._pos += 1
+        bit = (self._data[pos >> 3] >> (7 - (pos & 7))) & 1
+        self._pos = pos + 1
         return bit
+
+    def _extract(self, pos, num_bits):
+        """Field of ``num_bits`` bits starting at bit ``pos`` (zero-padded)."""
+        end = pos + num_bits
+        first = pos >> 3
+        last = (end + 7) >> 3
+        chunk = self._data[first:last]
+        value = int.from_bytes(chunk, "big")
+        span = (last - first) * 8
+        short = span - len(chunk) * 8
+        if short:
+            value <<= short  # bits past the end read as zero
+        return (value >> (span - (end - first * 8))) & ((1 << num_bits) - 1)
 
     def read_bits(self, num_bits):
         """Read ``num_bits`` bits as an unsigned integer (MSB first)."""
-        value = 0
-        for _ in range(num_bits):
-            value = (value << 1) | self.read_bit()
+        if num_bits <= 0:
+            return 0
+        value = self._extract(self._pos, num_bits)
+        end = self._pos + num_bits
+        self._pos = end if end <= self._total else self._total
         return value
+
+    def peek_bits(self, num_bits):
+        """Like :meth:`read_bits` but without consuming any input."""
+        if num_bits <= 0:
+            return 0
+        return self._extract(self._pos, num_bits)
+
+    def skip_bits(self, num_bits):
+        """Advance the read position by ``num_bits`` (clamped to the end)."""
+        self._pos = min(self._pos + num_bits, self._total)
+
+    def as_words32(self):
+        """Random-access word view for LUT decoders: ``(words, total_bits)``.
+
+        ``words[i]`` holds bits ``8i .. 8i+32`` of the stream as one integer
+        (zero-padded past the end, with slack for a decoder to overrun by a
+        few symbols before noticing exhaustion), so the 16-bit window at bit
+        ``p`` is ``(words[p >> 3] >> (16 - (p & 7))) & 0xFFFF`` — no slicing
+        or ``int.from_bytes`` in the per-symbol loop.  Built lazily once and
+        cached.  Consumers track their own bit position and re-synchronise
+        via :meth:`skip_bits`.
+
+        Payloads up to a few megabytes are returned as a plain Python list
+        (fastest scalar indexing); beyond that a signed numpy ``int64``
+        array is returned directly — indexing is slightly slower but memory
+        stays at 8 bytes per payload byte instead of ~40 for boxed Python
+        ints (signed so that consumer arithmetic like ``amp - (1 << size)``
+        cannot wrap).
+        """
+        if self._words is None:
+            padded = np.frombuffer(self._data + b"\x00" * 8, dtype=np.uint8)
+            as32 = padded.astype(np.int64)
+            words = (as32[:-3] << 24) | (as32[1:-2] << 16) | (as32[2:-1] << 8) | as32[3:]
+            self._words = words.tolist() if len(self._data) <= (2 << 20) else words
+        return self._words, self._total
 
     def read_unary(self):
         """Read a unary-coded non-negative integer."""
@@ -86,7 +201,7 @@ class BitReader:
     @property
     def bits_remaining(self):
         """Number of unread bits left in the buffer."""
-        return max(0, len(self._data) * 8 - self._pos)
+        return max(0, self._total - self._pos)
 
     @property
     def position(self):

@@ -374,7 +374,7 @@ class Tensor:
         """Gaussian error linear unit (tanh approximation, as in ViT/BERT)."""
         c = np.sqrt(2.0 / np.pi)
         x = self.data
-        inner = c * (x + 0.044715 * x ** 3)
+        inner = c * (x + 0.044715 * (x * x * x))
         t = np.tanh(inner)
         out_data = 0.5 * x * (1.0 + t)
 

@@ -1,0 +1,49 @@
+"""Wall-clock budget guard for the vectorized codec fast paths.
+
+The 512×512 RGB JPEG+easz encode→decode→reconstruct roundtrip runs in
+roughly half a CPU-second with the plan-cached squeeze, the table-driven
+entropy coder and the fused float32 reconstruction (see
+``BENCH_throughput.json``).  The seed implementation's symbol-at-a-time /
+per-patch Python loops took ~3 CPU-seconds on the same machine, so a budget
+of 2.5 CPU-seconds leaves ~5x headroom for slower hardware while still
+failing loudly if a hot path regresses to O(n) Python loops.
+
+CPU time (``time.process_time``) is used instead of wall-clock so a loaded
+CI machine does not flake the guard.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.codecs.jpeg import JpegCodec
+from repro.core import EaszCodec, EaszConfig
+
+_BUDGET_CPU_SECONDS = 2.5
+
+
+def test_jpeg_easz_roundtrip_512_rgb_within_budget():
+    config = EaszConfig(patch_size=16, subpatch_size=4, erase_per_row=1,
+                        d_model=48, num_heads=4, encoder_blocks=2,
+                        decoder_blocks=2, ffn_mult=2, loss_lambda=0.0)
+    codec = EaszCodec(config=config, base_codec=JpegCodec(quality=75), seed=0)
+    rng = np.random.default_rng(0)
+    image = rng.random((512, 512, 3))
+
+    # warm every plan/LUT/BLAS cache so the measurement sees steady state
+    reconstruction, _ = codec.roundtrip(image)
+    assert reconstruction.shape == image.shape
+
+    start = time.process_time()
+    reconstruction, compressed = codec.roundtrip(image)
+    elapsed = time.process_time() - start
+
+    assert reconstruction.shape == image.shape
+    assert compressed.bpp() > 0
+    assert elapsed < _BUDGET_CPU_SECONDS, (
+        f"512x512 RGB JPEG+easz roundtrip took {elapsed:.2f} CPU-seconds "
+        f"(budget {_BUDGET_CPU_SECONDS}); a hot path likely regressed to "
+        "per-patch or per-symbol Python loops"
+    )
