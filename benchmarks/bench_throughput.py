@@ -9,6 +9,12 @@ The seed and fast paths produce bit-identical JPEG payloads (same bpp) and
 reconstructions equal to float32 tolerance (same PSNR), so the speedup is a
 pure wall-clock comparison.
 
+The ``serving`` section measures the batched serving path: images/sec of
+``reconstruct_batch`` (the fused multi-image engine) against sequential
+per-image ``reconstruct_image`` calls on 256² RGB, across batch sizes, plus
+the batched ``decode_batch`` roundtrip — the acceptance bar is ≥1.5x
+images/sec for batched reconstruction at batch ≥ 4.
+
 Run with::
 
     PYTHONPATH=src python benchmarks/bench_throughput.py
@@ -32,9 +38,12 @@ sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 from repro.codecs.jpeg import JpegCodec  # noqa: E402
 from repro.core import (  # noqa: E402
     EaszConfig,
+    EaszDecoder,
+    EaszEncoder,
     EaszReconstructor,
     get_squeeze_plan,
     proposed_mask,
+    reconstruct_batch,
     reconstruct_image,
 )
 from repro.metrics import psnr  # noqa: E402
@@ -107,6 +116,64 @@ def stage_timings(image, mask, config, codec, model):
     }
 
 
+def serving_section(config, model, codec, mask, batch_sizes=(1, 2, 4, 8),
+                    size=256, repeats=5):
+    """Batched serving throughput vs sequential per-image calls (256² RGB)."""
+    rng_images = [synthetic_image(size, color=True, seed_value=100 + index)
+                  for index in range(max(batch_sizes))]
+    encoder = EaszEncoder(config, base_codec=codec, seed=0)
+    decoder = EaszDecoder(model=model, config=config, base_codec=codec)
+    packages = encoder.encode_batch(rng_images, mask=mask)
+    filled = [decoder.decode(package, reconstruct=False) for package in packages]
+
+    # equivalence guards: payload bytes and pixel agreement
+    sequential_packages = [encoder.encode(image, mask=mask) for image in rng_images]
+    for batched_pkg, sequential_pkg in zip(packages, sequential_packages):
+        assert batched_pkg.codec_payload.payload == sequential_pkg.codec_payload.payload, \
+            "encode_batch payloads are no longer bit-exact"
+    sequential_out = [reconstruct_image(model, image, mask) for image in filled]
+    batched_out = reconstruct_batch(model, filled, mask)
+    max_diff = max(float(np.abs(a - b).max())
+                   for a, b in zip(sequential_out, batched_out))
+    assert max_diff < 1e-5, f"batched reconstruction diverged: {max_diff}"
+
+    section = {
+        "image": f"{size}x{size}_rgb",
+        "max_abs_diff_batched_vs_sequential": max_diff,
+        "payload_bit_exact": True,
+        "batches": {},
+    }
+    per_image_s = timeit(lambda: reconstruct_image(model, filled[0], mask), repeats)
+    section["sequential_reconstruct_s_per_image"] = per_image_s
+    section["sequential_images_per_s"] = 1.0 / per_image_s
+    for batch_size in batch_sizes:
+        group = filled[:batch_size]
+        batch_s = timeit(lambda: reconstruct_batch(model, group, mask), repeats)
+        sequential_s = per_image_s * batch_size
+        section["batches"][batch_size] = {
+            "batched_s": batch_s,
+            "batched_images_per_s": batch_size / batch_s,
+            "sequential_s": sequential_s,
+            "speedup_vs_sequential": sequential_s / batch_s,
+        }
+        print(f"serving reconstruct batch {batch_size}: "
+              f"{batch_size / batch_s:.2f} img/s "
+              f"(seq {batch_size / sequential_s:.2f} img/s, "
+              f"speedup {sequential_s / batch_s:.2f}x)")
+
+    # end-to-end decode_batch (base decode + unsqueeze + fused reconstruction)
+    batch = packages[:4]
+    decode_batch_s = timeit(lambda: decoder.decode_batch(batch), repeats)
+    decode_seq_s = timeit(lambda: [decoder.decode(package) for package in batch],
+                          max(repeats - 2, 2))
+    section["decode_batch4_s"] = decode_batch_s
+    section["decode_sequential4_s"] = decode_seq_s
+    section["decode_batch4_speedup"] = decode_seq_s / decode_batch_s
+    print(f"serving decode batch 4: {decode_batch_s:.3f}s vs sequential "
+          f"{decode_seq_s:.3f}s ({decode_seq_s / decode_batch_s:.2f}x)")
+    return section
+
+
 def main():
     config = bench_config()
     model = EaszReconstructor(config)
@@ -127,6 +194,7 @@ def main():
         },
         "stages": {},
         "roundtrip_512_rgb": {},
+        "serving": {},
     }
 
     for size in SIZES:
@@ -161,6 +229,9 @@ def main():
     print(f"roundtrip 512x512 rgb: fast {fast_s:.3f}s seed {seed_s:.3f}s "
           f"speedup {rt['speedup']:.2f}x  psnr {rt['psnr_fast']:.3f} vs {rt['psnr_seed']:.3f}  "
           f"bpp {rt['bpp_fast']:.4f} vs {rt['bpp_seed']:.4f}")
+
+    # --- serving: batched reconstruction vs per-image calls -------------- #
+    report["serving"] = serving_section(config, model, codec, mask)
 
     out_path = REPO_ROOT / "BENCH_throughput.json"
     out_path.write_text(json.dumps(report, indent=2))

@@ -118,6 +118,24 @@ def _decode_lut(codes):
     return symbols.tolist(), lengths.tolist()
 
 
+def _ac_decode_lut(codes):
+    """Fused AC decoder view: per 16-bit window, everything pass 1 needs.
+
+    On top of the ``(symbol, code length)`` LUT the scan loop wants the
+    decomposed ``(run, size)`` fields and the fused ``step`` (code length +
+    amplitude size) so one window fetch advances the bit cursor past the whole
+    token.  ``step`` is 0 for invalid windows, which doubles as the
+    corruption check.
+    """
+    symbols, lengths = _decode_lut(codes)
+    sym = np.asarray(symbols, dtype=np.int64)
+    length = np.asarray(lengths, dtype=np.int64)
+    size = sym & 15
+    run = sym >> 4
+    step = np.where(length > 0, length + size, 0)
+    return (symbols, lengths, size.tolist(), run.tolist(), step.tolist())
+
+
 _DC_LUMA_CODES = _build_code_table(STANDARD_DC_LUMINANCE)
 _DC_CHROMA_CODES = _build_code_table(STANDARD_DC_CHROMINANCE)
 _AC_LUMA_CODES = _build_code_table(STANDARD_AC_LUMINANCE)
@@ -128,8 +146,8 @@ _AC_LUMA_ENCODE = _code_arrays(_AC_LUMA_CODES)
 _AC_CHROMA_ENCODE = _code_arrays(_AC_CHROMA_CODES)
 _DC_LUMA_DECODE = _decode_lut(_DC_LUMA_CODES)
 _DC_CHROMA_DECODE = _decode_lut(_DC_CHROMA_CODES)
-_AC_LUMA_DECODE = _decode_lut(_AC_LUMA_CODES)
-_AC_CHROMA_DECODE = _decode_lut(_AC_CHROMA_CODES)
+_AC_LUMA_DECODE = _ac_decode_lut(_AC_LUMA_CODES)
+_AC_CHROMA_DECODE = _ac_decode_lut(_AC_CHROMA_CODES)
 
 
 def _magnitude_category(value):
@@ -278,17 +296,35 @@ class JpegCodec(Codec):
         writer.write_tokens(token_values[order], token_lengths[order])
 
     def _decode_channel(self, reader, num_blocks, dc_decode, ac_decode):
-        """LUT-driven entropy decode: each Huffman symbol is resolved by one
-        16-bit window fetch and a table lookup instead of a bit-at-a-time
-        ``(length, code)`` dict probe.  The window comes from the reader's
-        precomputed 32-bit word view, so the per-symbol work is pure integer
-        arithmetic on local variables."""
+        """Two-pass vectorized entropy decode.
+
+        Pass 1 is a minimal sequential scan (the bit position of symbol
+        ``k+1`` depends on symbol ``k``, so this part cannot be parallelised):
+        each 16-bit window fetch resolves a whole Huffman token via the fused
+        LUTs — code length, (run, size) and the combined bit step — and the
+        loop only records *where* each amplitude field lives and *which*
+        zig-zag slot it fills.  No numeric decoding happens per symbol.
+
+        Pass 2 recovers all coefficient values with bulk numpy: one gather
+        from the reader's 32-bit word array extracts every amplitude field,
+        one ``where`` applies the sign convention, one ``cumsum`` undoes the
+        differential DC coding, and one fancy-index scatter (plus the inverse
+        zig-zag) builds the coefficient blocks.
+        """
         dc_symbols, dc_lengths = dc_decode
-        ac_symbols, ac_lengths = ac_decode
+        ac_symbols, ac_lengths, ac_sizes, ac_runs, ac_steps = ac_decode
         words, total_bits = reader.as_words32()
         pos = reader.position
-        blocks = np.zeros((num_blocks, 64), dtype=np.int32)
-        previous_dc = 0
+        dc_positions = []
+        dc_size_list = []
+        ac_positions = []
+        ac_size_list = []
+        ac_slots = []
+        dc_pos_append = dc_positions.append
+        dc_size_append = dc_size_list.append
+        ac_pos_append = ac_positions.append
+        ac_size_append = ac_size_list.append
+        ac_slot_append = ac_slots.append
         for block_index in range(num_blocks):
             if pos > total_bits:
                 raise ValueError("corrupt JPEG stream: out of data")
@@ -296,42 +332,52 @@ class JpegCodec(Codec):
             length = dc_lengths[window]
             if length == 0:
                 raise ValueError("corrupt JPEG stream: invalid Huffman code")
-            size = dc_symbols[window]
-            pos += length
-            if size:
-                amp = (words[pos >> 3] >> (32 - size - (pos & 7))) & ((1 << size) - 1)
-                pos += size
-                previous_dc += amp if amp >> (size - 1) else amp - (1 << size) + 1
-            blocks[block_index, 0] = previous_dc
+            dc_pos_append(pos + length)
+            dc_size_append(dc_symbols[window])
+            pos += length + dc_symbols[window]
             index = 1
+            base = block_index << 6
             while index < 64:
                 if pos > total_bits:
                     raise ValueError("corrupt JPEG stream: out of data")
                 window = (words[pos >> 3] >> (16 - (pos & 7))) & 0xFFFF
-                length = ac_lengths[window]
-                if length == 0:
+                step = ac_steps[window]
+                if step == 0:
                     raise ValueError("corrupt JPEG stream: invalid Huffman code")
-                symbol = ac_symbols[window]
-                pos += length
-                if symbol == _EOB:
-                    break
-                if symbol == _ZRL:
-                    index += 16
-                    continue
-                index += symbol >> 4
-                size = symbol & 0x0F
-                if index >= 64:
-                    raise ValueError("corrupt JPEG stream: AC index out of range")
+                size = ac_sizes[window]
                 if size:
-                    amp = (words[pos >> 3] >> (32 - size - (pos & 7))) & ((1 << size) - 1)
-                    pos += size
-                    blocks[block_index, index] = (
-                        amp if amp >> (size - 1) else amp - (1 << size) + 1
-                    )
-                index += 1
+                    index += ac_runs[window]
+                    if index >= 64:
+                        raise ValueError("corrupt JPEG stream: AC index out of range")
+                    ac_pos_append(pos + ac_lengths[window])
+                    ac_size_append(size)
+                    ac_slot_append(base + index)
+                    index += 1
+                    pos += step
+                else:
+                    pos += step
+                    if ac_symbols[window] == _EOB:
+                        break
+                    index += 16  # ZRL
         reader.skip_bits(pos - reader.position)
+
+        word_array = reader.as_word_array()
+        one = np.int64(1)
+        flat = np.zeros(num_blocks * 64, dtype=np.int64)
+        dc_pos = np.asarray(dc_positions, dtype=np.int64)
+        dc_size = np.asarray(dc_size_list, dtype=np.int64)
+        amp = (word_array[dc_pos >> 3] >> (32 - dc_size - (dc_pos & 7))) & ((one << dc_size) - 1)
+        negative = (amp >> np.maximum(dc_size - 1, 0)) == 0
+        diffs = np.where(negative, amp - (one << dc_size) + 1, amp)
+        flat[0::64] = np.cumsum(diffs)
+        if ac_positions:
+            ac_pos = np.asarray(ac_positions, dtype=np.int64)
+            ac_size = np.asarray(ac_size_list, dtype=np.int64)
+            amp = (word_array[ac_pos >> 3] >> (32 - ac_size - (ac_pos & 7))) & ((one << ac_size) - 1)
+            values = np.where((amp >> (ac_size - 1)) > 0, amp, amp - (one << ac_size) + 1)
+            flat[np.asarray(ac_slots, dtype=np.int64)] = values
         out = np.zeros((num_blocks, 64), dtype=np.int32)
-        out[:, ZIGZAG_ORDER] = blocks
+        out[:, ZIGZAG_ORDER] = flat.reshape(num_blocks, 64)
         return out.reshape(num_blocks, 8, 8)
 
     # ------------------------------------------------------------------ #

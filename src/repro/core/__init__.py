@@ -53,8 +53,15 @@ from .patchify import (
     tokens_to_subpatches,
     two_stage_patchify,
 )
+from .batch_engine import FusedBatchEngine
 from .pipeline import EaszCodec, EaszCompressed, EaszDecoder, EaszEncoder
-from .reconstruction import EaszReconstructor, reconstruct_image
+from .reconstruction import (
+    EaszReconstructor,
+    PixelIndexPlan,
+    get_pixel_plan,
+    reconstruct_batch,
+    reconstruct_image,
+)
 from .roi import (
     RoiCompressed,
     RoiEaszCodec,
@@ -139,7 +146,11 @@ __all__ = [
     "squeezed_shape",
     "validate_balanced_mask",
     "EaszReconstructor",
+    "FusedBatchEngine",
+    "PixelIndexPlan",
+    "get_pixel_plan",
     "reconstruct_image",
+    "reconstruct_batch",
     "EaszTrainer",
     "TrainingResult",
     "reconstruction_loss",

@@ -16,6 +16,7 @@ This is the system of the paper's Fig. 2 (left):
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -23,10 +24,11 @@ import numpy as np
 from ..codecs.base import Codec, ComplexityProfile, CompressedImage
 from ..codecs.jpeg import JpegCodec
 from ..image import image_num_pixels, to_float
+from .batch_engine import DEFAULT_CHUNK
 from .config import EaszConfig
 from .erase_squeeze import get_squeeze_plan
 from .masks import deserialize_mask, proposed_mask, random_mask, serialize_mask
-from .reconstruction import EaszReconstructor, reconstruct_image
+from .reconstruction import EaszReconstructor, reconstruct_batch, reconstruct_image
 
 __all__ = ["EaszCompressed", "EaszEncoder", "EaszDecoder", "EaszCodec"]
 
@@ -90,29 +92,57 @@ class EaszEncoder:
                                  rng=self._rng)
         return random_mask(cfg.grid_size, cfg.erase_per_row, rng=self._rng)
 
-    def encode(self, image, mask=None):
-        """Erase-and-squeeze ``image``, compress it, and package the result."""
+    def _config_summary(self):
+        """Encoder settings echoed to the receiver with every package."""
         cfg = self.config
+        return {
+            "patch_size": cfg.patch_size,
+            "subpatch_size": cfg.subpatch_size,
+            "erase_per_row": cfg.erase_per_row,
+            "mask_strategy": self.mask_strategy,
+            "base_codec": self.base_codec.name,
+        }
+
+    def _encode_with_plan(self, image, plan, mask_bytes, summary):
+        """Squeeze + compress + package one image with precomputed mask state."""
         image = to_float(image)
-        if mask is None:
-            mask = self.generate_mask()
-        plan = get_squeeze_plan(mask, cfg.subpatch_size).require_patch_size(cfg.patch_size)
         squeezed, grid_shape, original_shape = plan.squeeze_image(image)
         compressed = self.base_codec.compress(squeezed)
         return EaszCompressed(
             codec_payload=compressed,
-            mask_bytes=serialize_mask(mask),
+            mask_bytes=mask_bytes,
             grid_shape=grid_shape,
             original_shape=image.shape,
             squeezed_shape=squeezed.shape,
-            config_summary={
-                "patch_size": cfg.patch_size,
-                "subpatch_size": cfg.subpatch_size,
-                "erase_per_row": cfg.erase_per_row,
-                "mask_strategy": self.mask_strategy,
-                "base_codec": self.base_codec.name,
-            },
+            config_summary=summary,
         )
+
+    def encode(self, image, mask=None):
+        """Erase-and-squeeze ``image``, compress it, and package the result."""
+        cfg = self.config
+        if mask is None:
+            mask = self.generate_mask()
+        plan = get_squeeze_plan(mask, cfg.subpatch_size).require_patch_size(cfg.patch_size)
+        return self._encode_with_plan(image, plan, serialize_mask(mask),
+                                      self._config_summary())
+
+    def encode_batch(self, images, mask=None):
+        """Encode several images, byte-identical to sequential :meth:`encode` calls.
+
+        Without an explicit ``mask`` every image draws its own mask from the
+        encoder RNG in submission order — exactly the masks sequential
+        :meth:`encode` calls would produce.  With a shared ``mask`` the
+        squeeze plan and the serialised mask bytes are computed once and
+        amortised across the whole batch (the serving encode path).
+        """
+        if mask is None:
+            return [self.encode(image) for image in images]
+        cfg = self.config
+        plan = get_squeeze_plan(mask, cfg.subpatch_size).require_patch_size(cfg.patch_size)
+        mask_bytes = serialize_mask(np.asarray(mask))
+        summary = self._config_summary()
+        return [self._encode_with_plan(image, plan, mask_bytes, dict(summary))
+                for image in images]
 
     def complexity(self, shape):
         """Edge-side cost: erase-and-squeeze (memory moves) + base-codec encode.
@@ -141,11 +171,17 @@ class EaszDecoder:
         self.base_codec = base_codec
         self.fill = fill
 
-    def decode(self, compressed, reconstruct=True):
-        """Recover the full image from an :class:`EaszCompressed` package."""
+    def _unsqueeze_package(self, compressed, mask, codec=None, plan=None):
+        """Base-codec decode + unsqueeze one package (no reconstruction).
+
+        ``codec`` and ``plan`` default to the decoder's own base codec and
+        the module-level plan cache; serving workers inject their per-worker
+        cached instances so this single implementation is the only decode
+        path.
+        """
         cfg = self.config
-        mask = deserialize_mask(compressed.mask_bytes)
-        squeezed = self.base_codec.decompress(compressed.codec_payload)
+        codec = codec if codec is not None else self.base_codec
+        squeezed = codec.decompress(compressed.codec_payload)
         squeezed = np.asarray(squeezed)
         # The codec may hand back a slightly different dtype/range; clamp.
         squeezed = np.clip(squeezed, 0.0, 1.0)
@@ -154,16 +190,57 @@ class EaszDecoder:
             original_spatial[0] + (-original_spatial[0]) % cfg.patch_size,
             original_spatial[1] + (-original_spatial[1]) % cfg.patch_size,
         )
-        plan = get_squeeze_plan(mask, cfg.subpatch_size).require_patch_size(cfg.patch_size)
+        if plan is None:
+            plan = get_squeeze_plan(mask, cfg.subpatch_size).require_patch_size(cfg.patch_size)
         filled = plan.unsqueeze_image(
             squeezed, compressed.grid_shape,
             padded_original + tuple(compressed.original_shape[2:]),
             fill=self.fill,
         )
-        filled = filled[: original_spatial[0], : original_spatial[1], ...]
+        return filled[: original_spatial[0], : original_spatial[1], ...]
+
+    def decode(self, compressed, reconstruct=True):
+        """Recover the full image from an :class:`EaszCompressed` package."""
+        mask = deserialize_mask(compressed.mask_bytes)
+        filled = self._unsqueeze_package(compressed, mask)
         if not reconstruct:
             return filled
         return reconstruct_image(self.model, filled, mask)
+
+    def decode_batch(self, packages, reconstruct=True, chunk=DEFAULT_CHUNK,
+                     plan_getter=None):
+        """Decode N packages, fusing the reconstruction of shared-mask groups.
+
+        Base-codec decoding and unsqueezing run per package (entropy streams
+        are sequential by nature); the transformer reconstruction — the
+        dominant server-side cost — is batched through
+        :func:`repro.core.reconstruction.reconstruct_batch` for every group
+        of packages sharing one erase mask.  Results keep submission order
+        and match per-package :meth:`decode` calls (kept pixels exactly,
+        predicted pixels to float32 tolerance).
+        """
+        packages = list(packages)
+        filled_images = []
+        groups = OrderedDict()
+        for position, package in enumerate(packages):
+            mask = deserialize_mask(package.mask_bytes)
+            filled_images.append(self._unsqueeze_package(package, mask))
+            group = groups.get(package.mask_bytes)
+            if group is None:
+                groups[package.mask_bytes] = (mask, [position])
+            else:
+                group[1].append(position)
+        if not reconstruct:
+            return filled_images
+        results = [None] * len(packages)
+        for mask, positions in groups.values():
+            reconstructed = reconstruct_batch(
+                self.model, [filled_images[p] for p in positions], mask,
+                chunk=chunk, plan_getter=plan_getter,
+            )
+            for position, image in zip(positions, reconstructed):
+                results[position] = image
+        return results
 
     def complexity(self, shape):
         """Server-side cost: base-codec decode + transformer reconstruction."""
@@ -217,6 +294,26 @@ class EaszCodec(Codec):
         """Server-side decode + reconstruction."""
         package = compressed.metadata["easz_package"]
         return self.decoder.decode(package)
+
+    def compress_batch(self, images, mask=None):
+        """Batched :meth:`compress`: byte-identical payloads, shared plans."""
+        packages = self.encoder.encode_batch(images, mask=mask)
+        return [
+            CompressedImage(
+                payload=package.codec_payload.payload,
+                original_shape=package.original_shape,
+                codec_name=self.name,
+                metadata={"easz_package": package,
+                          "base_metadata": package.codec_payload.metadata},
+                extra_bytes=len(package.mask_bytes) + package.codec_payload.extra_bytes,
+            )
+            for package in packages
+        ]
+
+    def decompress_batch(self, compressed_list, chunk=DEFAULT_CHUNK):
+        """Batched :meth:`decompress` with fused shared-mask reconstruction."""
+        packages = [compressed.metadata["easz_package"] for compressed in compressed_list]
+        return self.decoder.decode_batch(packages, chunk=chunk)
 
     def encode_complexity(self, shape):
         """Edge cost = erase-and-squeeze + base-codec encode of the squeezed image."""

@@ -16,10 +16,13 @@ erase ratio and any image size — the "agility" of Easz.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 
 from .. import nn
-from ..image import is_color, to_float
+from ..image import is_color, pad_to_multiple, to_float
+from .batch_engine import DEFAULT_CHUNK, FusedBatchEngine
 from .config import EaszConfig
 from .patchify import (
     image_to_patches,
@@ -28,7 +31,13 @@ from .patchify import (
     tokens_to_patches,
 )
 
-__all__ = ["EaszReconstructor", "reconstruct_image"]
+__all__ = [
+    "EaszReconstructor",
+    "reconstruct_image",
+    "reconstruct_batch",
+    "PixelIndexPlan",
+    "get_pixel_plan",
+]
 
 
 class EaszReconstructor(nn.Module):
@@ -273,6 +282,29 @@ class EaszReconstructor(nn.Module):
         return predicted
 
     # ------------------------------------------------------------------ #
+    def batch_engine(self):
+        """The (cached) :class:`FusedBatchEngine` compiled from this model.
+
+        Rebuilt automatically when the parameter fingerprint changes — the
+        same invalidation rule `_forward_fast` uses for its float32 weight
+        cache.
+        """
+        engine = self.__dict__.get("_batch_engine_cache")
+        if engine is None or not engine.is_current():
+            engine = FusedBatchEngine(self)
+            self.__dict__["_batch_engine_cache"] = engine
+        return engine
+
+    def reconstruct_batch(self, filled_images, mask, keep_original=True,
+                          chunk=DEFAULT_CHUNK, plan_getter=None):
+        """Reconstruct several images sharing one mask in fused batches.
+
+        See :func:`reconstruct_batch` (module function) for semantics.
+        """
+        return reconstruct_batch(self, filled_images, mask, keep_original=keep_original,
+                                 chunk=chunk, plan_getter=plan_getter)
+
+    # ------------------------------------------------------------------ #
     def model_size_bytes(self, bytes_per_param=4):
         """Serialized model size (fp32), comparable to the paper's 8.7 MB."""
         return self.size_bytes(bytes_per_param)
@@ -289,6 +321,66 @@ class EaszReconstructor(nn.Module):
         per_patch += 2 * tokens * cfg.token_dim * cfg.d_model * 2
         channels = image_shape[2] if len(image_shape) == 3 and cfg.channels == 1 else 1
         return float(num_patches * per_patch * channels)
+
+
+class PixelIndexPlan:
+    """Pixel-level gather/scatter indices for one ``(mask, padded shape)``.
+
+    The batched serving path skips the patchify→tokenize→reassemble copy
+    chain entirely: kept sub-patch tokens are gathered straight from the
+    (padded) image with one fancy index, and predictions are scattered
+    straight back into a copy of it.  The index arrays are the "scatter
+    indices" the serving workers cache per worker.
+
+    Index array shapes are ``(num_patches, positions, subpatch_pixels)``;
+    ``kept_*`` cover the kept grid positions (model input), ``erased_*`` the
+    erased ones (scatter targets when original pixels are kept), ``all_*``
+    every position (full re-prediction).
+    """
+
+    def __init__(self, flat_mask, padded_shape, patch_size, subpatch_size):
+        grid = patch_size // subpatch_size
+        height, width = padded_shape
+        if height % patch_size or width % patch_size:
+            raise ValueError(f"padded shape {padded_shape} is not a multiple of {patch_size}")
+        rows, cols = height // patch_size, width // patch_size
+        num_patches = rows * cols
+        patch = np.arange(num_patches, dtype=np.int32)
+        patch_row, patch_col = patch // cols, patch % cols
+        token = np.arange(grid * grid, dtype=np.int32)
+        grid_row, grid_col = token // grid, token % grid
+        pixel = np.arange(subpatch_size * subpatch_size, dtype=np.int32)
+        sub_row, sub_col = pixel // subpatch_size, pixel % subpatch_size
+        y = (patch_row[:, None, None] * patch_size
+             + grid_row[None, :, None] * subpatch_size + sub_row[None, None, :])
+        x = (patch_col[:, None, None] * patch_size
+             + grid_col[None, :, None] * subpatch_size + sub_col[None, None, :])
+        self.kept_indices = np.flatnonzero(flat_mask)
+        self.erased_indices = np.flatnonzero(~flat_mask)
+        self.all_indices = np.arange(flat_mask.size)
+        self.kept_y, self.kept_x = y[:, self.kept_indices], x[:, self.kept_indices]
+        self.erased_y, self.erased_x = y[:, self.erased_indices], x[:, self.erased_indices]
+        self.all_y, self.all_x = y, x
+        self.num_patches = num_patches
+
+
+_PIXEL_PLAN_CACHE = OrderedDict()
+_PIXEL_PLAN_CACHE_MAX = 16
+
+
+def get_pixel_plan(mask, padded_shape, patch_size, subpatch_size):
+    """Cached :class:`PixelIndexPlan` for a mask and padded image geometry."""
+    flat_mask = np.asarray(mask, dtype=bool).reshape(-1)
+    key = (flat_mask.tobytes(), tuple(padded_shape), int(patch_size), int(subpatch_size))
+    plan = _PIXEL_PLAN_CACHE.get(key)
+    if plan is None:
+        plan = PixelIndexPlan(flat_mask, padded_shape, patch_size, subpatch_size)
+        _PIXEL_PLAN_CACHE[key] = plan
+        if len(_PIXEL_PLAN_CACHE) > _PIXEL_PLAN_CACHE_MAX:
+            _PIXEL_PLAN_CACHE.popitem(last=False)
+    else:
+        _PIXEL_PLAN_CACHE.move_to_end(key)
+    return plan
 
 
 def reconstruct_image(model, filled_image, mask, keep_original=True):
@@ -330,3 +422,105 @@ def reconstruct_image(model, filled_image, mask, keep_original=True):
         rebuilt = rebuilt.transpose(1, 2, 3, 0)
     image = patches_to_image(rebuilt, grid_shape, original_shape)
     return np.clip(image, 0.0, 1.0)
+
+
+def reconstruct_batch(model, filled_images, mask, keep_original=True,
+                      chunk=DEFAULT_CHUNK, plan_getter=None):
+    """Reconstruct N images sharing one erase mask in fused transformer calls.
+
+    This is the server-side batched counterpart of :func:`reconstruct_image`:
+    tokens from every image are stacked into one patch batch and run through
+    the model's :class:`FusedBatchEngine`, so fixed per-call costs and the
+    tokenize/reassemble copy chains are amortised across the whole
+    micro-batch.  Images may mix shapes and gray/RGB — they are grouped
+    internally and each group is processed in one stacked call.
+
+    Parameters
+    ----------
+    model:
+        A trained :class:`EaszReconstructor`.
+    filled_images:
+        Sequence of unsqueezed images (erased sub-patches zero/neighbour
+        filled), each grayscale or RGB.
+    mask:
+        The shared sub-patch mask (1 = kept), as in :func:`reconstruct_image`.
+    keep_original:
+        Keep the transmitted pixels and substitute predictions only at
+        erased positions (the serving default).
+    chunk:
+        Patches per engine chunk (see :data:`repro.core.batch_engine.DEFAULT_CHUNK`).
+    plan_getter:
+        Optional ``(mask, padded_shape, patch_size, subpatch_size) -> plan``
+        callable; serving workers pass their per-worker LRU here.  Defaults
+        to the module-level :func:`get_pixel_plan` cache.
+
+    Returns the reconstructions as a list in input order.  Kept pixels are
+    bit-identical to :func:`reconstruct_image`; predicted pixels agree to
+    float32 tolerance (~1e-6, far below one 8-bit quantisation step).
+    """
+    cfg = model.config
+    images = [to_float(image) for image in filled_images]
+    if not images:
+        return []
+    if model.training and cfg.dropout > 0.0:
+        # the engine has no dropout; fall back to the exact per-image path
+        return [reconstruct_image(model, image, mask, keep_original) for image in images]
+    flat_mask = np.asarray(mask, dtype=bool).reshape(-1)
+    if flat_mask.size != cfg.tokens_per_patch:
+        raise ValueError(
+            f"mask has {flat_mask.size} entries, expected {cfg.tokens_per_patch}"
+        )
+    engine = model.batch_engine()
+    plan_getter = plan_getter or get_pixel_plan
+    results = [None] * len(images)
+    groups = OrderedDict()
+    for position, image in enumerate(images):
+        color = is_color(image)
+        if not color and cfg.channels == 3:
+            raise ValueError("model expects RGB tokens but received a grayscale image")
+        groups.setdefault((image.shape, color), []).append(position)
+
+    subpixels = cfg.subpatch_size ** 2
+    for (shape, color), members in groups.items():
+        padded_images = [pad_to_multiple(images[i], cfg.patch_size)[0] for i in members]
+        padded_shape = padded_images[0].shape[:2]
+        plan = plan_getter(flat_mask, padded_shape, cfg.patch_size, cfg.subpatch_size)
+        stack = np.stack(padded_images)
+        count = len(members)
+        patches = plan.num_patches
+        num_kept = plan.kept_indices.size
+        fold = color and cfg.channels == 1
+        if fold:
+            # channels folded into the batch, channel-major per image
+            gathered = stack[:, plan.kept_y, plan.kept_x, :]  # (N, P, kept, b², 3)
+            kept_tokens = gathered.transpose(0, 4, 1, 2, 3).reshape(-1, num_kept, subpixels)
+        elif color:
+            gathered = stack[:, plan.kept_y, plan.kept_x, :]
+            kept_tokens = gathered.reshape(count * patches, num_kept, subpixels * 3)
+        else:
+            kept_tokens = stack[:, plan.kept_y, plan.kept_x].reshape(
+                count * patches, num_kept, subpixels)
+
+        out_indices = plan.erased_indices if keep_original else plan.all_indices
+        out_y = plan.erased_y if keep_original else plan.all_y
+        out_x = plan.erased_x if keep_original else plan.all_x
+        predictions = engine.predict(kept_tokens, plan.kept_indices, out_indices,
+                                     chunk=chunk).astype(np.float64)
+        num_out = out_indices.size
+        rows_per_image = (3 if fold else 1) * patches
+        for offset, position in enumerate(members):
+            block = predictions[offset * rows_per_image:(offset + 1) * rows_per_image]
+            output = padded_images[offset].copy() if keep_original \
+                else np.zeros_like(padded_images[offset])
+            if fold:
+                pixels = block.reshape(3, patches, num_out, subpixels).transpose(1, 2, 3, 0)
+                output[out_y, out_x, :] = pixels
+            elif color:
+                pixels = block.reshape(patches, num_out, subpixels, 3)
+                output[out_y, out_x, :] = pixels
+            else:
+                output[out_y, out_x] = block.reshape(patches, num_out, subpixels)
+            output = output[: shape[0], : shape[1], ...]
+            np.clip(output, 0.0, 1.0, out=output)
+            results[position] = output
+    return results

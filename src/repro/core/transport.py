@@ -127,6 +127,13 @@ def pack_package(package):
             "the base codec's metadata is not JSON-serialisable; transport only "
             "supports codecs with plain-type metadata"
         ) from error
+    try:
+        json.dumps(package.config_summary)
+    except TypeError as error:
+        raise ValueError(
+            "EaszCompressed.config_summary is not JSON-serialisable; keep encoder "
+            "settings to plain types so served responses can echo them"
+        ) from error
     header = {
         "codec_name": codec_payload.codec_name,
         "codec_metadata": codec_payload.metadata,
@@ -165,7 +172,10 @@ def unpack_package(data):
         grid_shape=tuple(header["grid_shape"]),
         original_shape=tuple(header["original_shape"]),
         squeezed_shape=tuple(header["squeezed_shape"]),
-        config_summary=header["config_summary"],
+        # _tuplify so tuple-valued encoder settings survive the JSON
+        # round-trip unchanged (served responses echo this dict verbatim);
+        # .get() tolerates containers written before the field existed
+        config_summary=_tuplify(header.get("config_summary", {})),
     )
 
 

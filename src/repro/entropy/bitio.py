@@ -124,6 +124,7 @@ class BitReader:
         self._total = len(self._data) * 8
         self._pos = 0  # bit position
         self._words = None  # lazy 32-bit window view (see as_words32)
+        self._word_array = None  # lazy numpy view of the same words
 
     def read_bit(self):
         """Read one bit; returns 0 past the end of the buffer."""
@@ -185,11 +186,28 @@ class BitReader:
         cannot wrap).
         """
         if self._words is None:
-            padded = np.frombuffer(self._data + b"\x00" * 8, dtype=np.uint8)
-            as32 = padded.astype(np.int64)
-            words = (as32[:-3] << 24) | (as32[1:-2] << 16) | (as32[2:-1] << 8) | as32[3:]
+            words = self.as_word_array()
             self._words = words.tolist() if len(self._data) <= (2 << 20) else words
         return self._words, self._total
+
+    def as_word_array(self):
+        """The :meth:`as_words32` word view as a signed numpy ``int64`` array.
+
+        Vectorized decoders (the two-pass JPEG entropy decoder) gather many
+        amplitude fields from arbitrary bit positions at once; numpy fancy
+        indexing needs the array form regardless of the payload size.  Built
+        lazily once and shared with :meth:`as_words32`.
+        """
+        if self._word_array is None:
+            if isinstance(self._words, np.ndarray):
+                self._word_array = self._words
+            else:
+                padded = np.frombuffer(self._data + b"\x00" * 8, dtype=np.uint8)
+                as32 = padded.astype(np.int64)
+                self._word_array = (
+                    (as32[:-3] << 24) | (as32[1:-2] << 16) | (as32[2:-1] << 8) | as32[3:]
+                )
+        return self._word_array
 
     def read_unary(self):
         """Read a unary-coded non-negative integer."""

@@ -104,6 +104,27 @@ def build_parser():
     experiment.add_argument("--images", type=int, default=1)
     experiment.add_argument("--height", type=int, default=96)
     experiment.add_argument("--width", type=int, default=144)
+
+    serve_bench = subparsers.add_parser(
+        "serve-bench",
+        help="drive the micro-batching compression server with Poisson load")
+    serve_bench.add_argument("--requests", type=int, default=48,
+                             help="number of requests to replay")
+    serve_bench.add_argument("--rate", type=float, default=60.0,
+                             help="Poisson arrival rate (requests/s)")
+    serve_bench.add_argument("--workers", type=int, default=2, help="worker threads")
+    serve_bench.add_argument("--max-batch", type=int, default=8,
+                             help="micro-batcher batch-size cap")
+    serve_bench.add_argument("--batch-wait-ms", type=float, default=4.0,
+                             help="micro-batcher wait budget per batch")
+    serve_bench.add_argument("--queue-depth", type=int, default=64,
+                             help="admission queue bound")
+    serve_bench.add_argument("--height", type=int, default=96)
+    serve_bench.add_argument("--width", type=int, default=144)
+    serve_bench.add_argument("--images", type=int, default=4,
+                             help="distinct frames cycled through the replay")
+    serve_bench.add_argument("--train-steps", type=int, default=300,
+                             help="pre-training steps for the (cached) model")
     return parser
 
 
@@ -376,6 +397,56 @@ def _experiment_table2(args):
     return 0
 
 
+def _command_serve_bench(args):
+    """Replay Poisson load against a live micro-batching server."""
+    from ..serve import BatchPolicy, CompressionServer, PoissonLoadGenerator
+
+    config = default_benchmark_config()
+    model = pretrained_model(config, steps=args.train_steps)
+    dataset = KodakDataset(num_images=args.images, height=args.height, width=args.width)
+    encoder = EaszEncoder(config, seed=0)
+    mask = encoder.generate_mask()
+    packages = encoder.encode_batch([dataset[i] for i in range(args.images)], mask=mask)
+
+    server = CompressionServer(
+        model=model, config=config, num_workers=args.workers,
+        queue_depth=args.queue_depth,
+        batch_policy=BatchPolicy(max_batch_size=args.max_batch,
+                                 max_wait_ms=args.batch_wait_ms),
+    )
+    with server:
+        generator = PoissonLoadGenerator(server)
+        report = generator.run(packages, arrival_rate_rps=args.rate,
+                               num_requests=args.requests)
+        snapshot = server.stats.snapshot()
+
+    print(format_kv_block("serve-bench (observed)", {
+        "requests": f"{report.completed}/{report.num_requests} (rejected {report.rejected})",
+        "offered rate (rps)": report.offered_rps,
+        "achieved rate (rps)": report.achieved_rps,
+        "latency p50 (ms)": report.latency_p50_ms,
+        "latency p99 (ms)": report.latency_p99_ms,
+        "queue wait mean (ms)": report.observed_wait_mean_ms,
+        "M/D/1 predicted wait (ms)": report.predicted_wait_md1_ms,
+        "utilisation": report.utilisation,
+        "service time / image (ms)": report.service_time_per_image_ms,
+        "mean batch size": report.mean_batch_size,
+    }))
+    print()
+    rows = [[size, count] for size, count in snapshot["batch_size_histogram"].items()]
+    print(format_table(["batch size", "batches"], rows, title="micro-batch histogram"))
+    cache_rows = []
+    for worker, caches in snapshot["caches"].items():
+        for cache in caches:
+            cache_rows.append([worker, cache["name"], cache["hits"], cache["misses"],
+                               f"{cache['hit_rate'] * 100:.0f}%"])
+    if cache_rows:
+        print()
+        print(format_table(["worker", "cache", "hits", "misses", "hit rate"], cache_rows,
+                           title="per-worker caches"))
+    return 0
+
+
 _COMMANDS = {
     "info": _command_info,
     "codecs": _command_codecs,
@@ -385,6 +456,7 @@ _COMMANDS = {
     "evaluate": _command_evaluate,
     "train": _command_train,
     "experiment": _command_experiment,
+    "serve-bench": _command_serve_bench,
 }
 
 

@@ -1,0 +1,59 @@
+"""``repro.serve`` — the micro-batching compression service layer.
+
+The paper's deployment story is a fleet of edge cameras streaming
+erase-and-squeezed frames to one shared server.  ``repro.core`` makes a
+single decode→reconstruct fast; this package makes *many concurrent* ones
+fast by amortising fixed costs across requests:
+
+* :class:`AdmissionQueue` — a bounded request queue: overload becomes an
+  explicit :class:`ServerOverloadedError` (or bounded blocking), not
+  unbounded latency;
+* :class:`MicroBatcher` — coalesces queued requests that share an erase mask
+  and image geometry, under a configurable latency budget
+  (:class:`BatchPolicy`);
+* :class:`ServeWorker` — worker threads running batches through the fused
+  batched APIs (``EaszDecoder.decode_batch`` /
+  ``reconstruct_batch``) with per-worker LRU caches
+  (:class:`LRUCache`) for squeeze plans, pixel scatter indices and
+  base-codec entropy tables;
+* :class:`ServerStats` — throughput, p50/p99 latency, batch-size histogram,
+  queue depth and cache hit rates;
+* :class:`PoissonLoadGenerator` — replays :mod:`repro.edge.fleet` Poisson
+  arrivals against a live server and reports the observed queueing next to
+  the M/D/1 prediction.
+
+Quick start::
+
+    from repro.serve import CompressionServer
+
+    with CompressionServer(model=model, config=config) as server:
+        pending = server.submit(package)          # EaszCompressed in,
+        response = pending.result(timeout=10.0)   # pixels out
+    print(server.stats.snapshot()["latency_p50_ms"])
+"""
+
+from .batcher import BatchPolicy, MicroBatcher
+from .cache import LRUCache
+from .loadgen import LoadReport, PoissonLoadGenerator
+from .queueing import AdmissionQueue, QueueClosedError, ServerOverloadedError
+from .server import CompressionServer, PendingResult, ServeRequest, ServeResponse
+from .telemetry import LatencyWindow, ServerStats
+from .worker import ServeWorker
+
+__all__ = [
+    "AdmissionQueue",
+    "BatchPolicy",
+    "CompressionServer",
+    "LatencyWindow",
+    "LoadReport",
+    "LRUCache",
+    "MicroBatcher",
+    "PendingResult",
+    "PoissonLoadGenerator",
+    "QueueClosedError",
+    "ServeRequest",
+    "ServeResponse",
+    "ServeWorker",
+    "ServerOverloadedError",
+    "ServerStats",
+]

@@ -1,0 +1,79 @@
+"""Dynamic micro-batcher: coalesce compatible requests under a latency bound.
+
+The transformer reconstruction gets cheaper per image as the batch grows
+(fixed per-call costs amortise and the fused engine's chunks stay full), but
+holding requests back adds latency.  The batcher resolves the tension the
+standard way: take the oldest request, then wait at most ``max_wait_ms`` for
+more requests with the *same batch key* (mask bytes + image geometry + kind)
+to arrive, capped at ``max_batch_size``.  An idle server therefore serves
+singles at minimum latency, and a busy one converges to full batches — the
+behaviour the batch-size histogram in telemetry makes visible.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+__all__ = ["BatchPolicy", "MicroBatcher"]
+
+
+@dataclass
+class BatchPolicy:
+    """Tunables for the dynamic micro-batcher."""
+
+    max_batch_size: int = 8
+    max_wait_ms: float = 2.0
+    poll_interval_ms: float = 0.5
+
+    def __post_init__(self):
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be at least 1")
+        if self.max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be non-negative")
+
+
+class MicroBatcher:
+    """Forms batches of compatible requests from an :class:`AdmissionQueue`."""
+
+    def __init__(self, queue, policy=None, key_fn=None):
+        self.queue = queue
+        self.policy = policy or BatchPolicy()
+        self.key_fn = key_fn or (lambda request: request.batch_key)
+
+    def next_batch(self, timeout=0.1):
+        """Return the next batch (list of requests) or ``None`` if idle.
+
+        The first request anchors the batch key; compatible requests already
+        queued are taken immediately, and if the batch is still short the
+        batcher keeps polling until ``max_wait_ms`` has passed since the
+        anchor was taken.  Incompatible requests are left untouched in their
+        original order.
+        """
+        first = self.queue.pop(timeout=timeout)
+        if first is None:
+            return None
+        policy = self.policy
+        key = self.key_fn(first)
+        batch = [first]
+        want = policy.max_batch_size - 1
+        if want <= 0:
+            return batch
+        batch.extend(self.queue.take_matching(
+            lambda request: self.key_fn(request) == key, want))
+        deadline = time.perf_counter() + policy.max_wait_ms * 1e-3
+        while len(batch) < policy.max_batch_size:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                break
+            if self.queue.depth == 0:
+                self.queue.wait_nonempty(min(remaining, policy.poll_interval_ms * 1e-3))
+            taken = self.queue.take_matching(
+                lambda request: self.key_fn(request) == key,
+                policy.max_batch_size - len(batch))
+            batch.extend(taken)
+            if not taken:
+                # only incompatible requests queued: sleep a poll interval so
+                # the wait window does not degenerate into a lock-churning spin
+                time.sleep(min(max(remaining, 0.0), policy.poll_interval_ms * 1e-3))
+        return batch

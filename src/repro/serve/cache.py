@@ -1,0 +1,77 @@
+"""Per-worker LRU caches with hit/miss accounting.
+
+Serving workers keep their own caches for the mask-derived artefacts the
+decode path needs — :class:`repro.core.SqueezePlan` gather/scatter indices,
+pixel-index scatter plans for batched reconstruction, and base-codec
+instances (whose constructors bake the quality-scaled quantisation and
+Huffman tables).  Worker-local caches avoid cross-thread contention on the
+module-level caches and give the telemetry layer per-worker hit rates, which
+is how cache sizing problems show up in production.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+__all__ = ["LRUCache"]
+
+
+class LRUCache:
+    """A small least-recently-used cache with hit/miss statistics.
+
+    Not thread-safe by design: every serving worker owns its caches outright,
+    which is the whole point (no shared-state contention on the hot path).
+    """
+
+    def __init__(self, capacity=32, name="cache"):
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = int(capacity)
+        self.name = name
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries = OrderedDict()
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, key):
+        return key in self._entries
+
+    def get(self, key, loader):
+        """Return the cached value for ``key``, calling ``loader()`` on a miss."""
+        entry = self._entries.get(key)
+        if entry is not None or key in self._entries:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return entry
+        self.misses += 1
+        value = loader()
+        self._entries[key] = value
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return value
+
+    @property
+    def hit_rate(self):
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self):
+        """Plain-dict snapshot for :class:`repro.serve.telemetry.ServerStats`."""
+        return {
+            "name": self.name,
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+    def clear(self):
+        """Drop every entry (statistics are kept)."""
+        self._entries.clear()

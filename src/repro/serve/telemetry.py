@@ -1,0 +1,137 @@
+"""Serving telemetry: throughput, latency percentiles, batch shapes, caches.
+
+:class:`ServerStats` is the single mutable telemetry object shared by the
+admission queue, the batcher and the workers.  All updates take one lock and
+touch a few counters, so instrumentation stays far off the hot path;
+:meth:`ServerStats.snapshot` renders everything into plain types for logs,
+tests and the ``serve-bench`` CLI table.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter, deque
+
+import numpy as np
+
+__all__ = ["LatencyWindow", "ServerStats"]
+
+
+class LatencyWindow:
+    """A sliding window of latency samples with percentile queries."""
+
+    def __init__(self, maxlen=4096):
+        self._samples = deque(maxlen=maxlen)
+
+    def record(self, seconds):
+        self._samples.append(float(seconds))
+
+    def __len__(self):
+        return len(self._samples)
+
+    def percentile(self, q):
+        """The ``q``-th percentile (seconds) of the current window, 0 if empty."""
+        if not self._samples:
+            return 0.0
+        return float(np.percentile(np.asarray(self._samples), q))
+
+    def mean(self):
+        if not self._samples:
+            return 0.0
+        return float(np.mean(np.asarray(self._samples)))
+
+
+class ServerStats:
+    """Aggregate telemetry for one :class:`repro.serve.CompressionServer`.
+
+    Tracks everything the ISSUE's serving story needs to be observable:
+    request throughput, end-to-end latency percentiles (p50/p99), the
+    batch-size histogram the micro-batcher actually achieved, queue depth
+    high-water mark, admission rejections, and per-worker cache hit rates.
+    """
+
+    def __init__(self, latency_window=4096):
+        self._lock = threading.Lock()
+        self._started = time.perf_counter()
+        self.submitted = 0
+        self.rejected = 0
+        self.completed = 0
+        self.failed = 0
+        self.batches = 0
+        self.batch_sizes = Counter()
+        self.service_seconds_total = 0.0
+        self.queue_wait_seconds_total = 0.0
+        self.queue_depth_peak = 0
+        self.latency = LatencyWindow(latency_window)
+        self.queue_wait = LatencyWindow(latency_window)
+        self.service_time = LatencyWindow(latency_window)
+        self._cache_stats = {}
+
+    # ------------------------------------------------------------------ #
+    def record_submitted(self):
+        with self._lock:
+            self.submitted += 1
+
+    def record_rejected(self):
+        with self._lock:
+            self.rejected += 1
+
+    def record_queue_depth(self, depth):
+        with self._lock:
+            if depth > self.queue_depth_peak:
+                self.queue_depth_peak = depth
+
+    def record_batch(self, size, queue_waits, latencies, service_seconds):
+        """One processed batch: its size plus per-request wait/latency samples."""
+        with self._lock:
+            self.batches += 1
+            self.batch_sizes[int(size)] += 1
+            self.completed += size
+            self.service_time.record(service_seconds)
+            self.service_seconds_total += service_seconds
+            for wait in queue_waits:
+                self.queue_wait.record(wait)
+                self.queue_wait_seconds_total += wait
+            for latency in latencies:
+                self.latency.record(latency)
+
+    def record_failure(self, count=1):
+        with self._lock:
+            self.failed += count
+
+    def update_cache_stats(self, worker_name, stats_list):
+        """Publish a worker's cache statistics (list of ``LRUCache.stats()``)."""
+        with self._lock:
+            self._cache_stats[worker_name] = list(stats_list)
+
+    # ------------------------------------------------------------------ #
+    def snapshot(self):
+        """Plain-dict view of every metric (safe to JSON-serialise)."""
+        with self._lock:
+            elapsed = max(time.perf_counter() - self._started, 1e-9)
+            mean_batch = (
+                sum(size * count for size, count in self.batch_sizes.items())
+                / max(self.batches, 1)
+            )
+            return {
+                "uptime_s": elapsed,
+                "submitted": self.submitted,
+                "rejected": self.rejected,
+                "completed": self.completed,
+                "failed": self.failed,
+                "throughput_rps": self.completed / elapsed,
+                "latency_p50_ms": self.latency.percentile(50) * 1e3,
+                "latency_p99_ms": self.latency.percentile(99) * 1e3,
+                "latency_mean_ms": self.latency.mean() * 1e3,
+                "queue_wait_p50_ms": self.queue_wait.percentile(50) * 1e3,
+                "queue_wait_mean_ms": self.queue_wait.mean() * 1e3,
+                "service_time_mean_ms": self.service_time.mean() * 1e3,
+                "batches": self.batches,
+                "service_seconds_total": self.service_seconds_total,
+                "queue_wait_seconds_total": self.queue_wait_seconds_total,
+                "mean_batch_size": mean_batch,
+                "batch_size_histogram": dict(sorted(self.batch_sizes.items())),
+                "queue_depth_peak": self.queue_depth_peak,
+                "caches": {name: list(stats) for name, stats in self._cache_stats.items()},
+            }

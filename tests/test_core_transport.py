@@ -79,6 +79,39 @@ class TestEaszPackageContainer:
         assert restored.config_summary == package.config_summary
         assert restored.num_bytes == package.num_bytes
 
+    def test_tuple_valued_config_summary_survives_roundtrip(self, easz_package):
+        import dataclasses
+        package, _ = easz_package
+        package = dataclasses.replace(
+            package, config_summary=dict(package.config_summary,
+                                         geometry=(16, 4), quality_grid=(30, 60, 85)))
+        restored = unpack_package(pack_package(package))
+        assert restored.config_summary == package.config_summary
+        assert restored.config_summary["geometry"] == (16, 4)
+
+    def test_missing_config_summary_header_tolerated(self, easz_package):
+        # containers written before the field existed decode to an empty dict
+        import json as json_module
+        package, _ = easz_package
+        container = pack_package(package)
+        header_length = int.from_bytes(container[5:9], "big")
+        header = json_module.loads(container[9:9 + header_length].decode("utf-8"))
+        header.pop("config_summary")
+        new_header = json_module.dumps(header, separators=(",", ":")).encode("utf-8")
+        rebuilt = (container[:5] + len(new_header).to_bytes(4, "big") + new_header
+                   + container[9 + header_length:])
+        restored = unpack_package(rebuilt)
+        assert restored.config_summary == {}
+        assert restored.codec_payload.payload == package.codec_payload.payload
+
+    def test_rejects_unserialisable_config_summary(self, easz_package):
+        import dataclasses
+        package, _ = easz_package
+        package = dataclasses.replace(
+            package, config_summary=dict(package.config_summary, array=np.zeros(2)))
+        with pytest.raises(ValueError, match="config_summary"):
+            pack_package(package)
+
     def test_restored_package_decodes_identically(self, easz_package, small_config,
                                                   trained_tiny_model):
         package, image = easz_package

@@ -19,7 +19,8 @@ _EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
 _ALL_EXAMPLES = sorted(path.name for path in _EXAMPLES_DIR.glob("*.py"))
 
 #: Examples cheap enough (cached model, small images) to execute in the test suite.
-_RUNNABLE = ["quickstart.py", "adaptive_bitrate.py", "streaming_surveillance.py"]
+_RUNNABLE = ["quickstart.py", "adaptive_bitrate.py", "streaming_surveillance.py",
+             "serving_gateway.py"]
 
 
 def _load_module(name):
@@ -40,6 +41,7 @@ class TestExampleStructure:
             "autonomous_driving.py",
             "fleet_congestion.py",
             "streaming_surveillance.py",
+            "serving_gateway.py",
         }
         assert expected.issubset(set(_ALL_EXAMPLES))
 

@@ -1,4 +1,4 @@
-"""Wall-clock budget guard for the vectorized codec fast paths.
+"""Wall-clock budget guards for the vectorized codec and serving fast paths.
 
 The 512×512 RGB JPEG+easz encode→decode→reconstruct roundtrip runs in
 roughly half a CPU-second with the plan-cached squeeze, the table-driven
@@ -8,8 +8,14 @@ per-patch Python loops took ~3 CPU-seconds on the same machine, so a budget
 of 2.5 CPU-seconds leaves ~5x headroom for slower hardware while still
 failing loudly if a hot path regresses to O(n) Python loops.
 
+The serving guard plays the same role for the batched path: reconstructing
+four 256² RGB images through ``reconstruct_batch`` takes ~0.27 CPU-seconds
+with the fused engine (vs ~0.42 for sequential per-image calls); a 1.2
+CPU-second budget fails loudly if the engine silently falls back to the
+per-image path or a batched stage regresses to Python loops.
+
 CPU time (``time.process_time``) is used instead of wall-clock so a loaded
-CI machine does not flake the guard.
+CI machine does not flake the guards.
 """
 
 from __future__ import annotations
@@ -19,9 +25,10 @@ import time
 import numpy as np
 
 from repro.codecs.jpeg import JpegCodec
-from repro.core import EaszCodec, EaszConfig
+from repro.core import EaszCodec, EaszConfig, proposed_mask, reconstruct_batch
 
 _BUDGET_CPU_SECONDS = 2.5
+_SERVING_BUDGET_CPU_SECONDS = 1.2
 
 
 def test_jpeg_easz_roundtrip_512_rgb_within_budget():
@@ -46,4 +53,30 @@ def test_jpeg_easz_roundtrip_512_rgb_within_budget():
         f"512x512 RGB JPEG+easz roundtrip took {elapsed:.2f} CPU-seconds "
         f"(budget {_BUDGET_CPU_SECONDS}); a hot path likely regressed to "
         "per-patch or per-symbol Python loops"
+    )
+
+
+def test_batched_reconstruction_within_budget():
+    config = EaszConfig(patch_size=16, subpatch_size=4, erase_per_row=1,
+                        d_model=48, num_heads=4, encoder_blocks=2,
+                        decoder_blocks=2, ffn_mult=2, loss_lambda=0.0)
+    codec = EaszCodec(config=config, base_codec=JpegCodec(quality=75), seed=0)
+    mask = proposed_mask(config.grid_size, config.erase_per_row,
+                         config.intra_row_min_distance, seed=0)
+    rng = np.random.default_rng(1)
+    images = [rng.random((256, 256, 3)) for _ in range(4)]
+
+    # warm the fused engine, the pixel plans and BLAS
+    warm = reconstruct_batch(codec.model, images, mask)
+    assert len(warm) == 4 and warm[0].shape == images[0].shape
+
+    start = time.process_time()
+    outputs = reconstruct_batch(codec.model, images, mask)
+    elapsed = time.process_time() - start
+
+    assert all(output.shape == image.shape for output, image in zip(outputs, images))
+    assert elapsed < _SERVING_BUDGET_CPU_SECONDS, (
+        f"batched reconstruction of 4x256x256 RGB took {elapsed:.2f} CPU-seconds "
+        f"(budget {_SERVING_BUDGET_CPU_SECONDS}); the fused batch engine likely "
+        "fell back to per-image calls or a batched stage regressed"
     )
