@@ -15,6 +15,14 @@ per-image ``reconstruct_image`` calls on 256² RGB, across batch sizes, plus
 the batched ``decode_batch`` roundtrip — the acceptance bar is ≥1.5x
 images/sec for batched reconstruction at batch ≥ 4.
 
+The ``serving.sharded`` subsection drives the full 256² RGB reconstruct
+workload through a live 2-shard :class:`ShardedCompressionServer` and the
+threaded :class:`CompressionServer` back to back and records images/sec for
+both (bar: ≥1.3x at 2 shards, guarded by ``tests/test_perf_smoke.py``).
+Process sharding only helps when there are cores to shard over, so on a
+single-CPU host the subsection records ``{"skipped": ...}`` and the guard
+skips with it.
+
 Run with::
 
     PYTHONPATH=src python benchmarks/bench_throughput.py
@@ -174,6 +182,62 @@ def serving_section(config, model, codec, mask, batch_sizes=(1, 2, 4, 8),
     return section
 
 
+def _drive_server(server, packages, rounds=3):
+    """Push every package through a live server ``rounds`` times; images/sec."""
+    # warm: plan/codec caches, fused engine, (for shards) child process state
+    for pending in [server.submit(package) for package in packages]:
+        pending.result(timeout=300.0)
+    start = time.perf_counter()
+    pendings = []
+    for _ in range(rounds):
+        pendings.extend(server.submit(package) for package in packages)
+    responses = [pending.result(timeout=300.0) for pending in pendings]
+    elapsed = time.perf_counter() - start
+    return len(responses) / elapsed, responses
+
+
+def sharded_serving_section(config, model, mask, size=256, num_images=8, shards=2):
+    """Sharded vs threaded images/sec on the 256² RGB reconstruct workload."""
+    from repro.serve import (BatchPolicy, CompressionServer,
+                             ShardedCompressionServer, available_cpus)
+
+    cpus = available_cpus()
+    if cpus < 2:
+        print(f"serving sharded: skipped ({cpus} CPU visible; sharding needs >= 2)")
+        return {"skipped": f"host exposes {cpus} CPU; process sharding needs >= 2"}
+
+    codec = JpegCodec(quality=75)
+    images = [synthetic_image(size, color=True, seed_value=200 + index)
+              for index in range(num_images)]
+    encoder = EaszEncoder(config, base_codec=codec, seed=0)
+    decoder = EaszDecoder(model=model, config=config, base_codec=codec)
+    packages = encoder.encode_batch(images, mask=mask)
+    references = [decoder.decode(package) for package in packages]
+    policy = BatchPolicy(max_batch_size=4, max_wait_ms=2.0, mode="adaptive")
+
+    with CompressionServer(model=model, config=config, num_workers=2,
+                           queue_depth=256, batch_policy=policy) as server:
+        threaded_ips, _ = _drive_server(server, packages)
+    with ShardedCompressionServer(model=model, config=config, num_shards=shards,
+                                  queue_depth=256, batch_policy=policy) as server:
+        sharded_ips, responses = _drive_server(server, packages)
+
+    max_diff = max(float(np.abs(response.image - references[index % num_images]).max())
+                   for index, response in enumerate(responses))
+    assert max_diff < 1e-5, f"sharded responses diverged from sequential decode: {max_diff}"
+    section = {
+        "image": f"{size}x{size}_rgb",
+        "num_shards": shards,
+        "threaded_images_per_s": threaded_ips,
+        "sharded_images_per_s": sharded_ips,
+        "speedup_vs_threaded": sharded_ips / threaded_ips,
+        "max_abs_diff_vs_sequential": max_diff,
+    }
+    print(f"serving sharded ({shards} shards): {sharded_ips:.2f} img/s vs threaded "
+          f"{threaded_ips:.2f} img/s ({section['speedup_vs_threaded']:.2f}x)")
+    return section
+
+
 def main():
     config = bench_config()
     model = EaszReconstructor(config)
@@ -232,6 +296,9 @@ def main():
 
     # --- serving: batched reconstruction vs per-image calls -------------- #
     report["serving"] = serving_section(config, model, codec, mask)
+
+    # --- serving: process-sharded pool vs the threaded server ------------ #
+    report["serving"]["sharded"] = sharded_serving_section(config, model, mask)
 
     out_path = REPO_ROOT / "BENCH_throughput.json"
     out_path.write_text(json.dumps(report, indent=2))

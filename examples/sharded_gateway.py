@@ -1,0 +1,127 @@
+"""Sharded-gateway scenario: a camera fleet behind a pool of shard processes.
+
+``serving_gateway.py`` shows one thread-based gateway; this example scales
+the same story out to a *pool* — the deployment shape the ROADMAP's
+"production-scale traffic" north star asks for:
+
+1. **shard pool** — a :class:`repro.serve.ShardedCompressionServer` spawns
+   worker processes (each with its own model weights, codec tables and plan
+   caches) behind the exact ``submit_bytes``/``PendingResult`` API the
+   threaded server exposes;
+2. **adaptive batch-wait** — the batch policy runs in ``"adaptive"`` mode,
+   so idle shards serve singles instantly while loaded shards converge to
+   full batches without hand-tuning ``max_wait_ms``;
+3. **static-scene result cache** — the fleet re-sends one unchanged frame
+   (a parked camera at night) and the digest-keyed cross-request cache
+   resolves the repeats without touching any shard;
+4. **M/D/c congestion check** — the fleet's Poisson arrivals are replayed
+   against the live pool and the observed queueing delay is printed next to
+   the M/D/c prediction (Erlang-C with the Cosmetatos deterministic-service
+   correction) that :mod:`repro.edge.fleet` computes analytically;
+5. **shard restart** — one shard is restarted in place mid-traffic to show
+   the pool absorbing a failure without dropping the other shards' work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import EaszEncoder, pack_package
+from repro.datasets import KodakDataset
+from repro.edge import CameraNode, FleetSimulation, WIFI_TCP
+from repro.experiments import default_benchmark_config, format_table, pretrained_model
+from repro.metrics import psnr
+from repro.serve import BatchPolicy, PoissonLoadGenerator, ShardedCompressionServer
+
+
+def fleet_containers(config, num_cameras=3, height=96, width=144):
+    """Per-camera frames, encoded and packed exactly as the edge would."""
+    dataset = KodakDataset(num_images=num_cameras, height=height, width=width)
+    encoder = EaszEncoder(config, seed=0)
+    mask = encoder.generate_mask()
+    frames = [dataset[index] for index in range(num_cameras)]
+    packages = encoder.encode_batch(frames, mask=mask)
+    containers = [pack_package(package) for package in packages]
+    return frames, packages, containers
+
+
+def pool_roundtrip(server, frames, containers):
+    pendings = [server.submit_bytes(blob) for blob in containers]
+    responses = [pending.result(timeout=120.0) for pending in pendings]
+    rows = []
+    for index, response in enumerate(responses):
+        rows.append([
+            f"camera-{index}",
+            response.worker,
+            f"{psnr(frames[index], response.image):.2f}",
+            response.batch_size,
+            f"{response.latency_s * 1e3:.1f}",
+        ])
+    print(format_table(
+        ["node", "served by", "psnr (dB)", "batch size", "latency (ms)"],
+        rows, title="Pool round-trip (submitted as raw EASZ containers)"))
+
+
+def static_scene_cache(model, config, containers):
+    """Re-send one unchanged frame: repeats resolve from the result cache.
+
+    Runs on its own small pool so the cache's short-circuiting does not mask
+    the queueing behaviour the congestion replay measures on the main pool.
+    """
+    with ShardedCompressionServer(model=model, config=config, num_shards=1,
+                                  result_cache_size=16) as server:
+        repeats = [server.submit_bytes(containers[0]).result(timeout=120.0)
+                   for _ in range(5)]
+        stats = server.stats.snapshot()["result_cache"]
+    cached = sum(response.cached for response in repeats)
+    print(f"\nStatic scene: 5 sends of one unchanged frame -> {cached} served from "
+          f"the digest-keyed result cache (hits {stats['hits']}, misses "
+          f"{stats['misses']}); only the first send touched a shard.")
+
+
+def congestion_replay(server, packages):
+    fleet = FleetSimulation(WIFI_TCP, [
+        CameraNode(f"camera-{index}", images_per_hour=360.0)
+        for index in range(len(packages))
+    ])
+    generator = PoissonLoadGenerator(server, rng=np.random.default_rng(7))
+    report = generator.replay_fleet(fleet, packages, num_requests=20, speedup=80.0)
+    print(f"\nPoisson replay of the fleet against the live {report.servers}-shard pool:")
+    print("  " + report.headline())
+
+
+def restart_demo(server, containers):
+    server.restart_shard(0)
+    response = server.submit_bytes(containers[0]).result(timeout=120.0)
+    print(f"\nShard 0 restarted in place; next frame served by {response.worker} "
+          "with the rest of the pool undisturbed.")
+
+
+def main():
+    config = default_benchmark_config()
+    model = pretrained_model(config, steps=600, batch_size=32)
+    frames, packages, containers = fleet_containers(config)
+    print("Sharded-gateway example\n")
+    server = ShardedCompressionServer(
+        model=model, config=config, num_shards=2,
+        batch_policy=BatchPolicy(max_batch_size=4, max_wait_ms=4.0, mode="adaptive"),
+    )
+    with server:
+        pool_roundtrip(server, frames, containers)
+        congestion_replay(server, packages)
+        restart_demo(server, containers)
+        snapshot = server.stats.snapshot()
+    print(f"\nPool stats: {snapshot['completed']} images across "
+          f"{snapshot['num_shards']} shards, p50 {snapshot['latency_p50_ms']:.1f} ms, "
+          f"mean batch {snapshot['mean_batch_size']:.1f}, "
+          f"batch histogram {snapshot['batch_size_histogram']}")
+    static_scene_cache(model, config, containers)
+    print("\nEach shard owns its model weights and caches, so the pool scales "
+          "with cores instead of fighting one GIL; consistent routing keeps a "
+          "camera's mask/geometry on the same warm shard, the adaptive wait "
+          "keeps idle latency at singles, and the M/D/c line shows the "
+          "queueing model tracking a c-server pool.")
+
+
+if __name__ == "__main__":
+    main()

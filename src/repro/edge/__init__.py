@@ -21,7 +21,7 @@ from .faults import (
     flip_bits,
     truncate_payload,
 )
-from .fleet import CameraNode, FleetReport, FleetSimulation
+from .fleet import CameraNode, FleetReport, FleetSimulation, erlang_c, md_c_wait_s
 from .latency import LatencyModel
 from .memory import MemoryModel
 from .network import WIFI_TCP, WirelessChannel
@@ -50,6 +50,8 @@ __all__ = [
     "CameraNode",
     "FleetReport",
     "FleetSimulation",
+    "erlang_c",
+    "md_c_wait_s",
     "WirelessChannel",
     "WIFI_TCP",
     "EdgeServerTestbed",

@@ -113,6 +113,14 @@ def build_parser():
     serve_bench.add_argument("--rate", type=float, default=60.0,
                              help="Poisson arrival rate (requests/s)")
     serve_bench.add_argument("--workers", type=int, default=2, help="worker threads")
+    serve_bench.add_argument("--shards", type=int, default=0,
+                             help="serve from N worker processes instead of threads "
+                                  "(0 = threaded server)")
+    serve_bench.add_argument("--result-cache", type=int, default=0,
+                             help="cross-request result cache capacity (0 = off)")
+    serve_bench.add_argument("--adaptive-wait", action="store_true",
+                             help="tune the micro-batch wait online from the "
+                                  "observed arrival rate instead of a fixed budget")
     serve_bench.add_argument("--max-batch", type=int, default=8,
                              help="micro-batcher batch-size cap")
     serve_bench.add_argument("--batch-wait-ms", type=float, default=4.0,
@@ -399,7 +407,8 @@ def _experiment_table2(args):
 
 def _command_serve_bench(args):
     """Replay Poisson load against a live micro-batching server."""
-    from ..serve import BatchPolicy, CompressionServer, PoissonLoadGenerator
+    from ..serve import (BatchPolicy, CompressionServer, PoissonLoadGenerator,
+                         ShardedCompressionServer)
 
     config = default_benchmark_config()
     model = pretrained_model(config, steps=args.train_steps)
@@ -408,29 +417,43 @@ def _command_serve_bench(args):
     mask = encoder.generate_mask()
     packages = encoder.encode_batch([dataset[i] for i in range(args.images)], mask=mask)
 
-    server = CompressionServer(
-        model=model, config=config, num_workers=args.workers,
-        queue_depth=args.queue_depth,
-        batch_policy=BatchPolicy(max_batch_size=args.max_batch,
-                                 max_wait_ms=args.batch_wait_ms),
-    )
+    batch_policy = BatchPolicy(max_batch_size=args.max_batch,
+                               max_wait_ms=args.batch_wait_ms,
+                               mode="adaptive" if args.adaptive_wait else "fixed")
+    if args.shards > 0:
+        server = ShardedCompressionServer(
+            model=model, config=config, num_shards=args.shards,
+            workers_per_shard=max(1, args.workers // args.shards),
+            queue_depth=args.queue_depth, batch_policy=batch_policy,
+            result_cache_size=args.result_cache,
+        )
+    else:
+        server = CompressionServer(
+            model=model, config=config, num_workers=args.workers,
+            queue_depth=args.queue_depth, batch_policy=batch_policy,
+            result_cache_size=args.result_cache,
+        )
     with server:
         generator = PoissonLoadGenerator(server)
         report = generator.run(packages, arrival_rate_rps=args.rate,
                                num_requests=args.requests)
         snapshot = server.stats.snapshot()
 
-    print(format_kv_block("serve-bench (observed)", {
-        "requests": f"{report.completed}/{report.num_requests} (rejected {report.rejected})",
+    mode = (f"{args.shards} process shards" if args.shards > 0
+            else f"{args.workers} worker threads")
+    print(format_kv_block(f"serve-bench (observed, {mode})", {
+        "requests": f"{report.completed}/{report.num_requests} "
+                    f"(rejected {report.rejected}, failed {report.failed})",
         "offered rate (rps)": report.offered_rps,
         "achieved rate (rps)": report.achieved_rps,
         "latency p50 (ms)": report.latency_p50_ms,
         "latency p99 (ms)": report.latency_p99_ms,
         "queue wait mean (ms)": report.observed_wait_mean_ms,
-        "M/D/1 predicted wait (ms)": report.predicted_wait_md1_ms,
+        f"M/D/{report.servers} predicted wait (ms)": report.predicted_wait_mdc_ms,
         "utilisation": report.utilisation,
         "service time / image (ms)": report.service_time_per_image_ms,
         "mean batch size": report.mean_batch_size,
+        "result-cache hits": snapshot["result_cache"]["hits"],
     }))
     print()
     rows = [[size, count] for size, count in snapshot["batch_size_histogram"].items()]

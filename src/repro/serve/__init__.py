@@ -10,17 +10,49 @@ fast by amortising fixed costs across requests:
   unbounded latency;
 * :class:`MicroBatcher` — coalesces queued requests that share an erase mask
   and image geometry, under a configurable latency budget
-  (:class:`BatchPolicy`);
+  (:class:`BatchPolicy`; ``mode="adaptive"`` tunes the wait online from the
+  observed inter-arrival rate);
 * :class:`ServeWorker` — worker threads running batches through the fused
   batched APIs (``EaszDecoder.decode_batch`` /
   ``reconstruct_batch``) with per-worker LRU caches
   (:class:`LRUCache`) for squeeze plans, pixel scatter indices and
   base-codec entropy tables;
+* :class:`ResultCache` — optional cross-request cache keyed on payload
+  digest, so the byte-identical frames of a static scene resolve without
+  touching the queue;
 * :class:`ServerStats` — throughput, p50/p99 latency, batch-size histogram,
-  queue depth and cache hit rates;
+  queue depth and cache hit rates (:func:`aggregate_snapshots` merges them
+  across shards);
+* :class:`ShardedCompressionServer` — the same submission API executed on N
+  worker *processes* (see the decision matrix below);
 * :class:`PoissonLoadGenerator` — replays :mod:`repro.edge.fleet` Poisson
   arrivals against a live server and reports the observed queueing next to
-  the M/D/1 prediction.
+  the M/D/c prediction.
+
+Threaded vs process-sharded — which server to use
+-------------------------------------------------
+
+===========================  =========================  ==========================
+concern                      ``CompressionServer``      ``ShardedCompressionServer``
+===========================  =========================  ==========================
+parallelism                  threads (one GIL: compute  processes (scales with
+                             tops out near one core)    cores for the elementwise
+                                                        decode/reconstruct stages)
+startup / memory             instant; one model copy    per-shard model + caches,
+                                                        process spawn at start()
+submit() overhead            ~µs (in-process queue)     container pack + queue hop
+                                                        (~100s of µs per request)
+batching reach               one pool sees every        per shard (consistent
+                             request                    routing keeps keys hot;
+                                                        spill uses the whole pool)
+failure isolation            a worker exception fails   a crashed shard is
+                             its batch only, but a      restartable in place
+                             hard crash takes the       (:meth:`~repro.serve.
+                             process down               sharding.ShardedCompressionServer.restart_shard`)
+queueing model (loadgen)     M/D/1 (``parallelism=1``)  M/D/c with c = num_shards
+use when                     interactive latency,       throughput-bound fleets on
+                             single-core hosts, tests   multi-core hosts
+===========================  =========================  ==========================
 
 Quick start::
 
@@ -30,14 +62,24 @@ Quick start::
         pending = server.submit(package)          # EaszCompressed in,
         response = pending.result(timeout=10.0)   # pixels out
     print(server.stats.snapshot()["latency_p50_ms"])
+
+Scaling out is the same API::
+
+    from repro.serve import ShardedCompressionServer
+
+    with ShardedCompressionServer(model=model, config=config, num_shards=4,
+                                  result_cache_size=256) as server:
+        response = server.submit_bytes(container).result(timeout=10.0)
 """
 
 from .batcher import BatchPolicy, MicroBatcher
-from .cache import LRUCache
+from .cache import LRUCache, ResultCache
 from .loadgen import LoadReport, PoissonLoadGenerator
 from .queueing import AdmissionQueue, QueueClosedError, ServerOverloadedError
 from .server import CompressionServer, PendingResult, ServeRequest, ServeResponse
-from .telemetry import LatencyWindow, ServerStats
+from .sharding import (ShardedCompressionServer, ShardFailedError, ShardHandle,
+                       available_cpus)
+from .telemetry import LatencyWindow, ServerStats, aggregate_snapshots
 from .worker import ServeWorker
 
 __all__ = [
@@ -51,9 +93,15 @@ __all__ = [
     "PendingResult",
     "PoissonLoadGenerator",
     "QueueClosedError",
+    "ResultCache",
     "ServeRequest",
     "ServeResponse",
     "ServeWorker",
     "ServerOverloadedError",
     "ServerStats",
+    "ShardedCompressionServer",
+    "ShardFailedError",
+    "ShardHandle",
+    "aggregate_snapshots",
+    "available_cpus",
 ]

@@ -1,17 +1,29 @@
 """Poisson load generator: replay fleet arrivals against a live server.
 
-:mod:`repro.edge.fleet` models a camera fleet's shared uplink as an M/D/1
+:mod:`repro.edge.fleet` models a camera fleet's shared uplink as an M/D/c
 queue and *predicts* congestion analytically.  This module closes the loop
-the ROADMAP asks for: it drives an actual :class:`CompressionServer` with the
-same Poisson arrival process (the superposition of every node's arrivals is
+the ROADMAP asks for: it drives an actual server (threaded
+:class:`~repro.serve.server.CompressionServer` or process-sharded
+:class:`~repro.serve.sharding.ShardedCompressionServer`) with the same
+Poisson arrival process (the superposition of every node's arrivals is
 itself Poisson with the summed rate) and reports the *observed* queueing
-behaviour next to the M/D/1 prediction computed from the measured service
+behaviour next to the M/D/c prediction computed from the measured service
 time — so the congestion model is validated against a real serving loop
-instead of asserted.
+instead of asserted.  The number of parallel servers ``c`` defaults to the
+target's ``parallelism`` attribute (1 for the threaded server, the shard
+count for the sharded one), at which point the M/D/c wait collapses to the
+familiar M/D/1 formula for ``c = 1``.
 
 Replays are time-compressed with ``speedup`` (a fleet offering one frame per
 camera per minute would otherwise take minutes to exercise); arrival gaps
 scale down, the rate in the report scales up correspondingly.
+
+Failures are *collected*, not raised: a request whose future errors (a
+corrupt payload, a shard restart, an admission timeout surfacing late) adds
+to ``LoadReport.failed`` and the remaining latencies still produce a report —
+one poisoned frame must not discard an entire measurement run.  When nothing
+completes at all the latency fields are ``NaN`` (not a fake 0.0 ms), and a
+run whose every request was rejected reports ``saturated=True``.
 """
 
 from __future__ import annotations
@@ -21,6 +33,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..edge.fleet import md_c_wait_s
 from .queueing import ServerOverloadedError
 
 __all__ = ["LoadReport", "PoissonLoadGenerator"]
@@ -45,14 +58,17 @@ class LoadReport:
     saturated: bool
     mean_batch_size: float
     batch_size_histogram: dict = field(default_factory=dict)
+    failed: int = 0
+    servers: int = 1
+    predicted_wait_mdc_ms: float = float("nan")
 
     def headline(self):
         """One-line summary for examples and the CLI."""
         state = "SATURATED" if self.saturated else f"{self.utilisation * 100:.0f}% utilised"
         return (f"{self.completed}/{self.num_requests} served at {self.achieved_rps:.1f} rps, "
                 f"{state}, p50 {self.latency_p50_ms:.1f} ms, p99 {self.latency_p99_ms:.1f} ms, "
-                f"wait {self.observed_wait_mean_ms:.1f} ms (M/D/1 predicts "
-                f"{self.predicted_wait_md1_ms:.1f} ms), mean batch {self.mean_batch_size:.1f}")
+                f"wait {self.observed_wait_mean_ms:.1f} ms (M/D/{self.servers} predicts "
+                f"{self.predicted_wait_mdc_ms:.1f} ms), mean batch {self.mean_batch_size:.1f}")
 
 
 class PoissonLoadGenerator:
@@ -69,21 +85,23 @@ class PoissonLoadGenerator:
         return sum(node.images_per_hour for node in fleet.nodes) / 3600.0
 
     def replay_fleet(self, fleet, packages, num_requests, speedup=1.0,
-                     kind="reconstruct", timeout=120.0):
+                     kind="reconstruct", timeout=120.0, servers=None):
         """Replay a fleet's merged arrival process, time-compressed by ``speedup``."""
         rate = self.fleet_arrival_rate(fleet) * speedup
         if rate <= 0:
             raise ValueError("fleet offers no load (zero frame rate)")
-        return self.run(packages, rate, num_requests, kind=kind, timeout=timeout)
+        return self.run(packages, rate, num_requests, kind=kind, timeout=timeout,
+                        servers=servers)
 
     # ------------------------------------------------------------------ #
     def run(self, packages, arrival_rate_rps, num_requests, kind="reconstruct",
-            timeout=120.0, warmup=True):
+            timeout=120.0, warmup=True, servers=None):
         """Drive ``num_requests`` Poisson arrivals at ``arrival_rate_rps``.
 
         ``packages`` are cycled round-robin.  Returns a :class:`LoadReport`
-        comparing the observed mean wait with the M/D/1 prediction at the
-        measured per-image service time.
+        comparing the observed mean wait with the M/D/c prediction at the
+        measured per-image service time; ``servers`` overrides the pool size
+        ``c`` (defaulting to the target server's ``parallelism``).
         """
         packages = list(packages)
         if not packages:
@@ -92,6 +110,9 @@ class PoissonLoadGenerator:
             raise ValueError("arrival_rate_rps must be positive")
         if num_requests < 1:
             raise ValueError("num_requests must be at least 1")
+        if servers is None:
+            servers = int(getattr(self.server, "parallelism", 1) or 1)
+        servers = max(int(servers), 1)
         if warmup:
             # populate worker caches and the fused engine outside the clock
             self.server.submit(packages[0], kind=kind).result(timeout=timeout)
@@ -109,29 +130,70 @@ class PoissonLoadGenerator:
                     self.server.submit(packages[index % len(packages)], kind=kind))
             except ServerOverloadedError:
                 rejected += 1
-        responses = [pending.result(timeout=timeout) for pending in pendings]
+        # collect per-request outcomes: one failed future must not discard
+        # the rest of the report
+        responses = []
+        failures = []
+        for pending in pendings:
+            try:
+                responses.append(pending.result(timeout=timeout))
+            except Exception as error:  # noqa: BLE001 - collected, reported
+                failures.append(error)
         elapsed = max(time.perf_counter() - started, 1e-9)
 
+        # no completions -> NaN latencies; a fake 0.0 ms percentile would
+        # read as an excellent (not an absent) result
         latencies = np.asarray([response.latency_s for response in responses]) \
-            if responses else np.zeros(1)
+            if responses else np.full(1, np.nan)
         batch_sizes = [response.batch_size for response in responses]
         mean_batch = float(np.mean(batch_sizes)) if batch_sizes else 0.0
         snapshot = self.server.stats.snapshot()
         # mean service time *per image* during this run (delta of the
         # cumulative counters, so earlier traffic does not skew the estimate)
         delta_service = snapshot["service_seconds_total"] - before["service_seconds_total"]
-        delta_completed = max(snapshot["completed"] - before["completed"], 1)
+        delta_completed = snapshot["completed"] - before["completed"]
         delta_wait = (snapshot["queue_wait_seconds_total"]
                       - before["queue_wait_seconds_total"])
-        per_image_service_s = delta_service / delta_completed
-        utilisation = arrival_rate_rps * per_image_service_s
-        saturated = utilisation >= 1.0
-        if saturated:
-            predicted_wait_ms = float("inf")
+        # result-cache hits resolve without queueing, so the queueing model
+        # applies only to the sub-stream of requests that reached the workers:
+        # thin the offered rate by the cached fraction before predicting
+        cached_responses = sum(1 for response in responses
+                               if getattr(response, "cached", False))
+        worked_fraction = ((len(responses) - cached_responses) / len(responses)
+                           if responses else 1.0)
+        worked_rate_rps = arrival_rate_rps * worked_fraction
+        if delta_completed > 0:
+            per_image_service_s = delta_service / delta_completed
+            utilisation = worked_rate_rps * per_image_service_s / servers
+            predicted_md1_ms = 1e3 * md_c_wait_s(worked_rate_rps, per_image_service_s, 1)
+            predicted_mdc_ms = 1e3 * md_c_wait_s(worked_rate_rps, per_image_service_s,
+                                                 servers)
+            observed_wait_ms = 1e3 * delta_wait / delta_completed
+        elif responses and cached_responses == len(responses):
+            # everything was absorbed by the result cache: no queueing
+            # happened, so waits and utilisation are genuinely zero; only the
+            # service time is unmeasurable.  (Uncached responses with a zero
+            # completion delta — a stats race — fall through to the NaN
+            # branch instead of claiming a measured zero.)
+            per_image_service_s = float("nan")
+            utilisation = 0.0
+            predicted_md1_ms = 0.0
+            predicted_mdc_ms = 0.0
+            observed_wait_ms = 0.0
         else:
-            predicted_wait_ms = 1e3 * utilisation * per_image_service_s / (
-                2.0 * (1.0 - utilisation))
-        observed_wait_ms = 1e3 * delta_wait / delta_completed
+            per_image_service_s = float("nan")
+            utilisation = float("nan")
+            predicted_md1_ms = float("nan")
+            predicted_mdc_ms = float("nan")
+            observed_wait_ms = float("nan")
+        # all-rejected means the admission queue shed the entire offered load
+        # (overload); all-*failed* is a fault, reported via `failed`, not a
+        # capacity signal
+        saturated = bool(utilisation >= 1.0) or (
+            not responses and rejected >= num_requests)
+        if saturated and delta_completed > 0:
+            predicted_md1_ms = float("inf")
+            predicted_mdc_ms = float("inf")
         return LoadReport(
             num_requests=num_requests,
             completed=len(responses),
@@ -144,8 +206,11 @@ class PoissonLoadGenerator:
             observed_wait_mean_ms=observed_wait_ms,
             service_time_per_image_ms=per_image_service_s * 1e3,
             utilisation=float(utilisation),
-            predicted_wait_md1_ms=predicted_wait_ms,
+            predicted_wait_md1_ms=predicted_md1_ms,
             saturated=saturated,
             mean_batch_size=mean_batch,
             batch_size_histogram=snapshot["batch_size_histogram"],
+            failed=len(failures),
+            servers=servers,
+            predicted_wait_mdc_ms=predicted_mdc_ms,
         )

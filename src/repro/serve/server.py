@@ -35,11 +35,13 @@ from ..core.pipeline import EaszCompressed, EaszDecoder
 from ..core.reconstruction import EaszReconstructor
 from ..core.transport import unpack_package
 from .batcher import BatchPolicy, MicroBatcher
+from .cache import ResultCache
 from .queueing import AdmissionQueue, QueueClosedError
 from .telemetry import ServerStats
 from .worker import ServeWorker
 
-__all__ = ["ServeRequest", "ServeResponse", "PendingResult", "CompressionServer"]
+__all__ = ["ServeRequest", "ServeResponse", "PendingResult", "CompressionServer",
+           "try_resolve_from_result_cache"]
 
 _CODEC_NAME_PATTERN = re.compile(r"^(?P<base>[a-z0-9-]+?)-qp?(?P<quality>\d+)$")
 
@@ -55,16 +57,25 @@ class ServeResponse:
     latency_s: float = 0.0
     batch_size: int = 1
     worker: str = ""
+    cached: bool = False
 
 
 class PendingResult:
-    """A minimal future resolved by a serving worker."""
+    """A minimal future resolved by a serving worker.
+
+    Besides blocking via :meth:`result`, completion callbacks can be attached
+    with :meth:`add_done_callback` — the sharded server uses this to marshal
+    finished responses back over the process boundary without a
+    thread-per-request.
+    """
 
     def __init__(self, request_id):
         self.request_id = request_id
         self._event = threading.Event()
         self._response = None
         self._error = None
+        self._callbacks = []
+        self._cb_lock = threading.Lock()
 
     def done(self):
         """True once a worker resolved (or rejected) the request."""
@@ -78,14 +89,57 @@ class PendingResult:
             raise self._error
         return self._response
 
+    def add_done_callback(self, fn):
+        """Call ``fn(self)`` once resolved/rejected (immediately if already done)."""
+        with self._cb_lock:
+            if not self._event.is_set():
+                self._callbacks.append(fn)
+                return
+        fn(self)
+
     # worker-side hooks ------------------------------------------------- #
+    def _finish(self):
+        with self._cb_lock:
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
     def _resolve(self, response):
         self._response = response
-        self._event.set()
+        self._finish()
 
     def _reject(self, error):
         self._error = error
-        self._event.set()
+        self._finish()
+
+
+def try_resolve_from_result_cache(result_cache, stats, package, kind, pending):
+    """Shared cache-hit fast path of the threaded and sharded ``submit()``.
+
+    Returns ``(cache_key, hit)``: the digest to store the eventual result
+    under (``None`` when the cache is disabled), and whether ``pending`` was
+    already resolved from a cached image (in which case the caller must not
+    queue the request).
+    """
+    if not result_cache.enabled:
+        return None, False
+    cache_key = result_cache.digest(package, kind)
+    image = result_cache.lookup(cache_key)
+    stats.record_result_cache(hit=image is not None)
+    if image is None:
+        return cache_key, False
+    pending._resolve(ServeResponse(
+        request_id=pending.request_id,
+        image=image,
+        kind=kind,
+        config_summary=dict(package.config_summary),
+        latency_s=0.0,
+        batch_size=1,
+        worker="result-cache",
+        cached=True,
+    ))
+    return cache_key, True
 
 
 @dataclass
@@ -97,6 +151,7 @@ class ServeRequest:
     kind: str
     submitted_at: float
     pending: PendingResult
+    cache_key: bytes = None
 
     @property
     def batch_key(self):
@@ -142,11 +197,21 @@ class CompressionServer:
         :class:`BatchPolicy` controlling micro-batch size and wait budget.
     fill:
         Unsqueeze fill mode (as :class:`repro.core.EaszDecoder`).
+    result_cache_size:
+        Capacity of the cross-request :class:`~repro.serve.cache.ResultCache`
+        keyed on payload digest.  ``0`` (the default) disables it; enable it
+        for static-scene traffic where byte-identical frames repeat, so
+        repeats resolve instantly without touching the queue.
     """
+
+    #: Parallel service channels this server presents to the queueing model
+    #: (threads share one GIL, so the M/D/1 view of a threaded server is c=1;
+    #: :class:`repro.serve.sharding.ShardedCompressionServer` overrides this).
+    parallelism = 1
 
     def __init__(self, model=None, config=None, base_codec=None, num_workers=2,
                  queue_depth=64, admission_policy="reject", batch_policy=None,
-                 fill="zero", chunk=DEFAULT_CHUNK):
+                 fill="zero", chunk=DEFAULT_CHUNK, result_cache_size=0):
         self.config = config or (model.config if model is not None else EaszConfig())
         self.model = model or EaszReconstructor(self.config)
         self.base_codec = base_codec if base_codec is not None else JpegCodec(quality=75)
@@ -155,6 +220,7 @@ class CompressionServer:
         self.decoder = EaszDecoder(model=self.model, config=self.config,
                                    base_codec=self.base_codec, fill=fill)
         self.stats = ServerStats()
+        self.result_cache = ResultCache(result_cache_size)
         self.queue = AdmissionQueue(max_depth=queue_depth, policy=admission_policy)
         self.batcher = MicroBatcher(self.queue, policy=batch_policy or BatchPolicy())
         self.workers = [ServeWorker(self, index) for index in range(max(1, num_workers))]
@@ -218,12 +284,17 @@ class CompressionServer:
         if not self._started:
             raise RuntimeError("server not started; use start() or a with-block")
         pending = PendingResult(next(self._ids))
+        cache_key, hit = try_resolve_from_result_cache(
+            self.result_cache, self.stats, package, kind, pending)
+        if hit:
+            return pending
         request = ServeRequest(
             request_id=pending.request_id,
             package=package,
             kind=kind,
             submitted_at=time.perf_counter(),
             pending=pending,
+            cache_key=cache_key,
         )
         try:
             depth = self.queue.put(request)

@@ -15,7 +15,7 @@ from collections import Counter, deque
 
 import numpy as np
 
-__all__ = ["LatencyWindow", "ServerStats"]
+__all__ = ["LatencyWindow", "ServerStats", "aggregate_snapshots"]
 
 
 class LatencyWindow:
@@ -66,6 +66,9 @@ class ServerStats:
         self.latency = LatencyWindow(latency_window)
         self.queue_wait = LatencyWindow(latency_window)
         self.service_time = LatencyWindow(latency_window)
+        self.completed_cached = 0
+        self.result_cache_hits = 0
+        self.result_cache_misses = 0
         self._cache_stats = {}
 
     # ------------------------------------------------------------------ #
@@ -100,6 +103,21 @@ class ServerStats:
         with self._lock:
             self.failed += count
 
+    def record_result_cache(self, hit):
+        """One cross-request result-cache lookup.
+
+        Hits are tallied in ``completed_cached``, deliberately *not* in
+        ``completed``: the latter counts worker-served requests only, and the
+        load generator's service-time estimate divides by it, so zero-cost
+        cache hits must stay out.
+        """
+        with self._lock:
+            if hit:
+                self.result_cache_hits += 1
+                self.completed_cached += 1
+            else:
+                self.result_cache_misses += 1
+
     def update_cache_stats(self, worker_name, stats_list):
         """Publish a worker's cache statistics (list of ``LRUCache.stats()``)."""
         with self._lock:
@@ -133,5 +151,70 @@ class ServerStats:
                 "mean_batch_size": mean_batch,
                 "batch_size_histogram": dict(sorted(self.batch_sizes.items())),
                 "queue_depth_peak": self.queue_depth_peak,
+                "completed_cached": self.completed_cached,
+                "result_cache": {
+                    "hits": self.result_cache_hits,
+                    "misses": self.result_cache_misses,
+                    "hit_rate": (self.result_cache_hits
+                                 / max(self.result_cache_hits + self.result_cache_misses, 1)),
+                },
                 "caches": {name: list(stats) for name, stats in self._cache_stats.items()},
             }
+
+
+def aggregate_snapshots(snapshots, labels=None):
+    """Merge per-shard :meth:`ServerStats.snapshot` dicts into one pool view.
+
+    Counters, histograms and cumulative seconds add exactly; latency/wait
+    percentiles cannot be merged exactly from percentiles alone, so they are
+    approximated as completion-weighted averages of the per-shard values
+    (exact when the shards see i.i.d. traffic, which consistent routing plus
+    spill balancing approaches in practice).  The full per-shard snapshots are
+    kept under ``"shards"`` for anyone needing the unmerged numbers.
+    """
+    snapshots = list(snapshots)
+    if not snapshots:
+        return {"shards": [], "completed": 0, "failed": 0, "submitted": 0,
+                "rejected": 0, "batches": 0, "completed_cached": 0,
+                "service_seconds_total": 0.0, "queue_wait_seconds_total": 0.0,
+                "batch_size_histogram": {}, "queue_depth_peak": 0,
+                "throughput_rps": 0.0, "mean_batch_size": 0.0,
+                "latency_p50_ms": 0.0, "latency_p99_ms": 0.0,
+                "latency_mean_ms": 0.0, "queue_wait_mean_ms": 0.0,
+                "service_time_mean_ms": 0.0, "uptime_s": 0.0, "caches": {}}
+    labels = list(labels) if labels is not None else [
+        f"shard-{index}" for index in range(len(snapshots))]
+    merged = {
+        "uptime_s": max(snap.get("uptime_s", 0.0) for snap in snapshots),
+        "queue_depth_peak": max(snap.get("queue_depth_peak", 0) for snap in snapshots),
+    }
+    for key in ("submitted", "rejected", "completed", "failed", "batches",
+                "completed_cached"):
+        merged[key] = sum(snap.get(key, 0) for snap in snapshots)
+    for key in ("service_seconds_total", "queue_wait_seconds_total",
+                "throughput_rps"):
+        merged[key] = float(sum(snap.get(key, 0.0) for snap in snapshots))
+    histogram = Counter()
+    for snap in snapshots:
+        for size, count in snap.get("batch_size_histogram", {}).items():
+            histogram[int(size)] += int(count)
+    merged["batch_size_histogram"] = dict(sorted(histogram.items()))
+    merged["mean_batch_size"] = (
+        sum(size * count for size, count in histogram.items())
+        / max(merged["batches"], 1))
+    weights = [max(snap.get("completed", 0), 0) for snap in snapshots]
+    total_weight = sum(weights)
+    for key in ("latency_p50_ms", "latency_p99_ms", "latency_mean_ms",
+                "queue_wait_mean_ms", "service_time_mean_ms"):
+        if total_weight:
+            merged[key] = sum(weight * snap.get(key, 0.0)
+                              for weight, snap in zip(weights, snapshots)) / total_weight
+        else:
+            merged[key] = 0.0
+    caches = {}
+    for label, snap in zip(labels, snapshots):
+        for worker, stats in snap.get("caches", {}).items():
+            caches[f"{label}/{worker}"] = stats
+    merged["caches"] = caches
+    merged["shards"] = [dict(snap) for snap in snapshots]
+    return merged

@@ -107,6 +107,8 @@ class ServeWorker(threading.Thread):
         queue_waits = [started - request.submitted_at for request in survivors]
         latencies = [finished - request.submitted_at for request in survivors]
         for request, image in zip(survivors, outputs):
+            if request.cache_key is not None:
+                server.result_cache.put(request.cache_key, image)
             request.resolve(image, batch_size=len(survivors), worker=self.name,
                             latency=finished - request.submitted_at)
         server.stats.record_batch(len(survivors), queue_waits, latencies,

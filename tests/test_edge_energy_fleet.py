@@ -132,6 +132,19 @@ class TestFleetSimulation:
         few = fleet.max_sustainable_nodes(bytes_per_image=50_000, images_per_hour=120)
         assert many > few > 0
 
+    def test_max_sustainable_nodes_counts_exact_divisions(self):
+        # regression: `0.7 // 0.1 == 6.0` in IEEE-754, so the old float
+        # floor-division undercounted fleets whose per-node utilisation
+        # divides the cap exactly — cap 0.7 at 0.1/node must admit 7 nodes
+        channel = WirelessChannel(bandwidth_mbps=8.0, per_transfer_overhead_ms=0.0)
+        fleet = FleetSimulation(channel, [])
+        capacity = channel.throughput_bytes_per_s()
+        images_per_hour = 360.0
+        # choose a frame size giving exactly 0.1 utilisation per node
+        bytes_per_image = 0.1 * capacity / (images_per_hour / 3600.0)
+        assert fleet.max_sustainable_nodes(bytes_per_image, images_per_hour,
+                                           utilisation_cap=0.7) == 7
+
     def test_errors_on_missing_calibration_or_empty_fleet(self):
         with pytest.raises(ValueError):
             FleetSimulation(WirelessChannel(), []).evaluate()

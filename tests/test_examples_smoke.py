@@ -42,6 +42,7 @@ class TestExampleStructure:
             "fleet_congestion.py",
             "streaming_surveillance.py",
             "serving_gateway.py",
+            "sharded_gateway.py",
         }
         assert expected.issubset(set(_ALL_EXAMPLES))
 

@@ -14,21 +14,35 @@ with the fused engine (vs ~0.42 for sequential per-image calls); a 1.2
 CPU-second budget fails loudly if the engine silently falls back to the
 per-image path or a batched stage regresses to Python loops.
 
+The sharded guard checks the *recorded* ``serving.sharded`` bar in
+``BENCH_throughput.json`` (≥1.3x images/sec over the threaded server at 2
+shards) instead of spawning a shard pool inside tier-1 — process startup and
+a live replay would blow the suite's time budget, and the bench itself
+already verifies response equivalence when it records the numbers.  Hosts
+with a single visible CPU skip (sharding cannot help there; the bench writes
+a ``skipped`` marker on such hosts for the same reason).
+
 CPU time (``time.process_time``) is used instead of wall-clock so a loaded
 CI machine does not flake the guards.
 """
 
 from __future__ import annotations
 
+import json
+import pathlib
 import time
 
 import numpy as np
+import pytest
 
 from repro.codecs.jpeg import JpegCodec
 from repro.core import EaszCodec, EaszConfig, proposed_mask, reconstruct_batch
+from repro.serve import available_cpus
 
 _BUDGET_CPU_SECONDS = 2.5
 _SERVING_BUDGET_CPU_SECONDS = 1.2
+_SHARDED_SPEEDUP_BAR = 1.3
+_BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
 
 
 def test_jpeg_easz_roundtrip_512_rgb_within_budget():
@@ -79,4 +93,21 @@ def test_batched_reconstruction_within_budget():
         f"batched reconstruction of 4x256x256 RGB took {elapsed:.2f} CPU-seconds "
         f"(budget {_SERVING_BUDGET_CPU_SECONDS}); the fused batch engine likely "
         "fell back to per-image calls or a batched stage regressed"
+    )
+
+
+def test_sharded_throughput_bar_recorded_in_bench_json():
+    if available_cpus() < 2:
+        pytest.skip("process sharding needs >= 2 visible CPUs")
+    report = json.loads(_BENCH_JSON.read_text())
+    section = report.get("serving", {}).get("sharded") or {}
+    if "skipped" in section or "speedup_vs_threaded" not in section:
+        pytest.skip("sharded bench was not recorded on this host "
+                    "(re-run benchmarks/bench_throughput.py on a multi-core box)")
+    assert section["num_shards"] >= 2
+    assert section["max_abs_diff_vs_sequential"] < 1e-5
+    assert section["speedup_vs_threaded"] >= _SHARDED_SPEEDUP_BAR, (
+        f"sharded serving recorded only {section['speedup_vs_threaded']:.2f}x over "
+        f"the threaded server (bar {_SHARDED_SPEEDUP_BAR}x at "
+        f"{section['num_shards']} shards); the shard pool has regressed"
     )

@@ -1,0 +1,717 @@
+"""Tests for process-sharded serving, adaptive batch-wait, the result cache
+and the M/D/c queueing bridge."""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.codecs import JpegCodec
+from repro.core import EaszConfig, EaszDecoder, EaszEncoder, EaszReconstructor, pack_package
+from repro.edge import erlang_c, md_c_wait_s
+from repro.serve import (
+    AdmissionQueue,
+    BatchPolicy,
+    CompressionServer,
+    MicroBatcher,
+    PoissonLoadGenerator,
+    QueueClosedError,
+    ResultCache,
+    ServerOverloadedError,
+    ServerStats,
+    ShardedCompressionServer,
+    ShardFailedError,
+    aggregate_snapshots,
+)
+
+
+@pytest.fixture(scope="module")
+def serve_config():
+    return EaszConfig(patch_size=16, subpatch_size=4, erase_per_row=1,
+                      d_model=32, num_heads=4, encoder_blocks=2, decoder_blocks=2,
+                      ffn_mult=2, loss_lambda=0.0)
+
+
+@pytest.fixture(scope="module")
+def serve_model(serve_config):
+    model = EaszReconstructor(serve_config)
+    model.eval()
+    return model
+
+
+@pytest.fixture(scope="module")
+def packages(serve_config):
+    rng = np.random.default_rng(0)
+    encoder = EaszEncoder(serve_config, seed=0)
+    mask = encoder.generate_mask()
+    images = [rng.random((48, 64, 3)) for _ in range(4)]
+    return encoder.encode_batch(images, mask=mask)
+
+
+@pytest.fixture(scope="module")
+def decoder(serve_config, serve_model):
+    return EaszDecoder(model=serve_model, config=serve_config,
+                       base_codec=JpegCodec(quality=75))
+
+
+def _sharded(serve_model, serve_config, **kwargs):
+    kwargs.setdefault("num_shards", 2)
+    kwargs.setdefault("batch_policy", BatchPolicy(max_batch_size=4, max_wait_ms=2.0))
+    return ShardedCompressionServer(model=serve_model, config=serve_config, **kwargs)
+
+
+# --------------------------------------------------------------------------- #
+# queueing theory: Erlang-C and the M/D/c correction
+# --------------------------------------------------------------------------- #
+class TestMDc:
+    def test_collapses_to_md1_at_c1(self):
+        lam, service = 3.0, 0.2
+        rho = lam * service
+        expected = rho * service / (2.0 * (1.0 - rho))
+        assert md_c_wait_s(lam, service, 1) == pytest.approx(expected, rel=1e-12)
+
+    def test_erlang_c_known_values(self):
+        # M/M/1: P(wait) == rho
+        assert erlang_c(1, 0.5) == pytest.approx(0.5)
+        # M/M/2 with a = 1: C = 1/3 (classic textbook value)
+        assert erlang_c(2, 1.0) == pytest.approx(1.0 / 3.0)
+        assert erlang_c(4, 0.0) == 0.0
+        assert erlang_c(2, 2.5) == 1.0  # at/over saturation every arrival waits
+
+    def test_more_servers_wait_less(self):
+        waits = [md_c_wait_s(4.0, 0.2, c) for c in (1, 2, 4, 8)]
+        assert all(a > b for a, b in zip(waits, waits[1:]))
+        assert waits[-1] > 0.0
+
+    def test_pool_rescues_a_saturated_single_server(self):
+        # lambda*S = 2 erlangs: one server diverges, three cope
+        assert md_c_wait_s(10.0, 0.2, 1) == float("inf")
+        assert md_c_wait_s(10.0, 0.2, 2) == float("inf")  # rho == 1 exactly
+        assert math.isfinite(md_c_wait_s(10.0, 0.2, 3))
+
+    def test_zero_load_and_validation(self):
+        assert md_c_wait_s(0.0, 0.2, 2) == 0.0
+        with pytest.raises(ValueError):
+            md_c_wait_s(1.0, 0.1, 0)
+        with pytest.raises(ValueError):
+            erlang_c(0, 1.0)
+        with pytest.raises(ValueError):
+            erlang_c(2, -0.1)
+
+    def test_fleet_evaluate_servers_parameter(self):
+        from repro.edge import WirelessChannel
+        channel = WirelessChannel(bandwidth_mbps=6.0, per_transfer_overhead_ms=50.0)
+        nodes = [__import__("repro.edge", fromlist=["CameraNode"]).CameraNode(
+            f"cam-{i}", images_per_hour=1200, bytes_per_image=20_000) for i in range(8)]
+        from repro.edge import FleetSimulation
+        fleet = FleetSimulation(channel, nodes)
+        single = fleet.evaluate("jpeg", servers=1)
+        pooled = fleet.evaluate("jpeg", servers=2)
+        assert pooled.utilisation == pytest.approx(single.utilisation / 2.0)
+        assert pooled.mean_queueing_delay_ms < single.mean_queueing_delay_ms
+
+
+# --------------------------------------------------------------------------- #
+# adaptive batch-wait
+# --------------------------------------------------------------------------- #
+class TestAdaptiveBatchWait:
+    def _batcher(self, **policy_kwargs):
+        policy_kwargs.setdefault("mode", "adaptive")
+        policy_kwargs.setdefault("max_batch_size", 4)
+        policy_kwargs.setdefault("max_wait_ms", 10.0)
+        return MicroBatcher(AdmissionQueue(max_depth=16), BatchPolicy(**policy_kwargs))
+
+    @staticmethod
+    def _arrival(t):
+        class _Request:
+            submitted_at = t
+        return _Request()
+
+    def test_defaults_to_ceiling_until_observed(self):
+        batcher = self._batcher()
+        assert batcher.effective_wait_s(1) == pytest.approx(10e-3)
+
+    def test_loaded_waits_expected_fill_time(self):
+        batcher = self._batcher(ewma_alpha=1.0)
+        for t in (0.000, 0.001, 0.002, 0.003):
+            batcher.observe_arrival(self._arrival(t))
+        assert batcher.ewma_gap_s == pytest.approx(1e-3)
+        # 3 more requests wanted at ~1 ms apart -> wait ~3 ms, not the 10 ms cap
+        assert batcher.effective_wait_s(1) == pytest.approx(3e-3)
+        assert batcher.effective_wait_s(3) == pytest.approx(1e-3)
+        assert batcher.effective_wait_s(4) == 0.0
+
+    def test_idle_serves_singles_instantly(self):
+        batcher = self._batcher(ewma_alpha=1.0, min_wait_ms=0.0)
+        batcher.observe_arrival(self._arrival(0.0))
+        batcher.observe_arrival(self._arrival(5.0))  # one request every 5 s
+        assert batcher.effective_wait_s(1) == 0.0
+
+    def test_wait_clamped_to_ceiling(self):
+        batcher = self._batcher(ewma_alpha=1.0)
+        batcher.observe_arrival(self._arrival(0.0))
+        batcher.observe_arrival(self._arrival(0.008))  # gap 8 ms < 10 ms cap
+        assert batcher.effective_wait_s(1) == pytest.approx(10e-3)  # 3*8 ms clamped
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError, match="poll_interval_ms"):
+            BatchPolicy(poll_interval_ms=0.0)
+        with pytest.raises(ValueError, match="mode"):
+            BatchPolicy(mode="turbo")
+        with pytest.raises(ValueError, match="min_wait_ms"):
+            BatchPolicy(max_wait_ms=1.0, min_wait_ms=2.0)
+        with pytest.raises(ValueError, match="ewma_alpha"):
+            BatchPolicy(ewma_alpha=0.0)
+
+    def test_fixed_mode_ignores_observations(self):
+        batcher = MicroBatcher(AdmissionQueue(max_depth=4),
+                               BatchPolicy(mode="fixed", max_wait_ms=7.0))
+        batcher.observe_arrival(self._arrival(0.0))
+        batcher.observe_arrival(self._arrival(10.0))
+        assert batcher.effective_wait_s(1) == pytest.approx(7e-3)
+
+    def test_wait_loop_clamped_to_anchor_deadline(self):
+        # regression: the post-wait sleep used a stale `remaining`, so late
+        # incompatible traffic pushed the batch past max_wait_ms by up to two
+        # poll intervals
+        class _Keyed:
+            def __init__(self, key):
+                self.batch_key = key
+
+        queue = AdmissionQueue(max_depth=8)
+        batcher = MicroBatcher(queue, BatchPolicy(max_batch_size=2, max_wait_ms=120.0,
+                                                  poll_interval_ms=100.0))
+        queue.put(_Keyed("anchor"))
+        threading.Timer(0.08, lambda: queue.put(_Keyed("other"))).start()
+        started = time.perf_counter()
+        batch = batcher.next_batch(timeout=0.01)
+        elapsed_ms = (time.perf_counter() - started) * 1e3
+        assert [request.batch_key for request in batch] == ["anchor"]
+        # stale-remaining behaviour: ~80 ms wait + a full 100 ms sleep ≈ 180 ms;
+        # the clamped loop exits at the 120 ms budget (wide margins so a loaded
+        # single-core CI host cannot blur the two)
+        assert elapsed_ms < 155.0, f"batch held {elapsed_ms:.1f} ms past its 120 ms budget"
+        assert queue.depth == 1  # the incompatible request is untouched
+
+
+# --------------------------------------------------------------------------- #
+# cross-request result cache
+# --------------------------------------------------------------------------- #
+class TestResultCache:
+    def test_digest_distinguishes_payload_and_kind(self, packages):
+        a = ResultCache.digest(packages[0], "reconstruct")
+        assert a == ResultCache.digest(packages[0], "reconstruct")
+        assert a != ResultCache.digest(packages[0], "decode")
+        assert a != ResultCache.digest(packages[1], "reconstruct")
+
+    def test_lookup_put_and_isolation(self):
+        cache = ResultCache(capacity=2)
+        image = np.arange(6.0).reshape(2, 3)
+        assert cache.lookup(b"k") is None
+        cache.put(b"k", image)
+        image[0, 0] = 99.0  # caller mutates its array after the put
+        hit = cache.lookup(b"k")
+        assert hit[0, 0] == 0.0
+        hit[0, 1] = 77.0  # consumer mutates its hit
+        assert cache.lookup(b"k")[0, 1] == 1.0
+        assert cache.hits == 2 and cache.misses == 1
+
+    def test_capacity_zero_disables(self):
+        cache = ResultCache(capacity=0)
+        cache.put(b"k", np.ones(3))
+        assert cache.lookup(b"k") is None
+        assert not cache.enabled
+
+    def test_threaded_server_serves_repeats_from_cache(self, serve_config, serve_model,
+                                                       packages, decoder):
+        with CompressionServer(model=serve_model, config=serve_config, num_workers=1,
+                               result_cache_size=8) as server:
+            first = server.submit(packages[0]).result(timeout=120.0)
+            second = server.submit(packages[0]).result(timeout=120.0)
+            snapshot = server.stats.snapshot()
+        assert not first.cached
+        assert second.cached and second.worker == "result-cache"
+        assert np.array_equal(first.image, second.image)
+        reference = decoder.decode(packages[0])
+        assert np.abs(second.image - reference).max() < 1e-5
+        assert snapshot["result_cache"]["hits"] == 1
+        assert snapshot["completed_cached"] == 1
+        assert snapshot["completed"] == 1  # only the first touched a worker
+
+    def test_sharded_server_serves_repeats_from_cache(self, serve_config, serve_model,
+                                                      packages):
+        with _sharded(serve_model, serve_config, result_cache_size=8) as server:
+            first = server.submit(packages[1]).result(timeout=120.0)
+            repeats = [server.submit(packages[1]).result(timeout=120.0)
+                       for _ in range(3)]
+            snapshot = server.stats.snapshot()
+        assert not first.cached
+        assert all(response.cached for response in repeats)
+        for response in repeats:
+            assert np.array_equal(response.image, first.image)
+        assert snapshot["result_cache"]["hits"] == 3
+        assert snapshot["completed"] == 1
+
+
+# --------------------------------------------------------------------------- #
+# sharded server end-to-end
+# --------------------------------------------------------------------------- #
+class TestShardedCompressionServer:
+    def test_reconstruct_matches_threaded_reference(self, serve_config, serve_model,
+                                                    packages, decoder):
+        references = [decoder.decode(package) for package in packages]
+        with _sharded(serve_model, serve_config) as server:
+            pendings = [server.submit(package) for package in packages]
+            responses = [pending.result(timeout=300.0) for pending in pendings]
+        for response, reference in zip(responses, references):
+            assert response.image.shape == reference.shape
+            assert np.abs(response.image - reference).max() < 1e-5
+            assert response.worker.startswith("shard-")
+
+    def test_decode_kind_is_bit_exact(self, serve_config, serve_model, packages,
+                                      decoder):
+        reference = decoder.decode(packages[0], reconstruct=False)
+        with _sharded(serve_model, serve_config) as server:
+            response = server.submit(packages[0], kind="decode").result(timeout=300.0)
+        assert np.array_equal(response.image, reference)
+
+    def test_submit_bytes_over_the_wire(self, serve_config, serve_model, packages):
+        with _sharded(serve_model, serve_config) as server:
+            response = server.submit_bytes(pack_package(packages[0])).result(timeout=300.0)
+        assert response.config_summary["base_codec"] == "jpeg-q75"
+        assert response.image.shape == packages[0].original_shape
+
+    def test_consistent_routing_keeps_a_key_on_one_shard(self, serve_config,
+                                                         serve_model, packages):
+        with _sharded(serve_model, serve_config) as server:
+            shards = set()
+            for _ in range(4):  # sequential singles: never past the spill threshold
+                response = server.submit(packages[0]).result(timeout=300.0)
+                shards.add(response.worker.split("/")[0])
+        assert len(shards) == 1
+
+    def test_corrupt_request_fails_alone(self, serve_config, serve_model, packages):
+        import dataclasses
+        healthy = packages[0]
+        corrupt_payload = dataclasses.replace(
+            healthy.codec_payload,
+            payload=healthy.codec_payload.payload[:12] + b"\xff" * 6)
+        corrupt = dataclasses.replace(healthy, codec_payload=corrupt_payload)
+        with _sharded(serve_model, serve_config) as server:
+            pending_corrupt = server.submit(corrupt)
+            pending_healthy = server.submit(healthy)
+            good = pending_healthy.result(timeout=300.0)
+            with pytest.raises(ValueError):
+                pending_corrupt.result(timeout=300.0)
+            snapshot = server.stats.snapshot()
+        assert good.image.shape == healthy.original_shape
+        assert snapshot["failed"] >= 1
+
+    def test_admission_rejects_synchronously_when_window_full(self, serve_config,
+                                                              serve_model, packages):
+        server = _sharded(serve_model, serve_config, num_shards=1, queue_depth=1,
+                          batch_policy=BatchPolicy(max_batch_size=1, max_wait_ms=0.5))
+        admitted, rejected = [], 0
+        with server:
+            for _ in range(30):
+                try:
+                    admitted.append(server.submit(packages[0]))
+                except ServerOverloadedError:
+                    rejected += 1
+            for pending in admitted:
+                pending.result(timeout=300.0)
+            snapshot = server.stats.snapshot()
+        assert rejected > 0
+        assert snapshot["rejected"] == rejected
+        assert snapshot["submitted"] == len(admitted)
+
+    def test_stats_aggregate_across_shards(self, serve_config, serve_model, packages):
+        with _sharded(serve_model, serve_config) as server:
+            pendings = [server.submit(package) for package in packages * 2]
+            for pending in pendings:
+                pending.result(timeout=300.0)
+            snapshot = server.stats.snapshot()
+        assert snapshot["num_shards"] == 2
+        assert snapshot["completed"] == len(pendings)
+        assert snapshot["submitted"] == len(pendings)
+        assert sum(size * count for size, count
+                   in snapshot["batch_size_histogram"].items()) == len(pendings)
+        assert len(snapshot["shards"]) == 2
+        assert snapshot["caches"]  # per-shard worker caches surfaced
+
+    def test_restart_shard_in_place(self, serve_config, serve_model, packages):
+        with _sharded(serve_model, serve_config) as server:
+            server.submit(packages[0]).result(timeout=300.0)
+            completed_before = server.stats.snapshot()["completed"]
+            old_process = server._shards[0].process
+            server.restart_shard(0)
+            assert not old_process.is_alive()
+            assert server._shards[0].process.pid != old_process.pid
+            # the retired generation's counters survive the restart
+            assert server.stats.snapshot()["completed"] == completed_before
+            response = server.submit(packages[0]).result(timeout=300.0)
+        assert response.image.shape == packages[0].original_shape
+
+    def test_crashed_shard_fails_or_reroutes_in_flight_futures(self, serve_config,
+                                                               serve_model, packages):
+        # a shard killed outside restart_shard() must not strand its callers
+        # until their own result() timeout: the collector's reaper either
+        # re-routes the request to a live shard or fails it promptly
+        with _sharded(serve_model, serve_config) as server:
+            server.submit(packages[0]).result(timeout=300.0)  # warm both paths
+            victim = server._shards[0]
+            pendings = [server.submit(package) for package in packages]
+            victim.process.kill()
+            outcomes = {"served": 0, "failed": 0}
+            started = time.perf_counter()
+            for pending in pendings:
+                try:
+                    pending.result(timeout=60.0)
+                    outcomes["served"] += 1
+                except ShardFailedError:
+                    outcomes["failed"] += 1
+            elapsed = time.perf_counter() - started
+            assert outcomes["served"] + outcomes["failed"] == len(pendings)
+            assert elapsed < 30.0, "crashed shard stranded futures until timeout"
+            # the surviving shard keeps serving
+            response = server.submit(packages[0]).result(timeout=300.0)
+            assert response.image.shape == packages[0].original_shape
+
+    def test_draining_shard_receives_no_new_work(self, serve_config, serve_model,
+                                                 packages):
+        # regression: a shard mid-drain is still is_alive() but has stopped
+        # reading its request queue; routing to it stranded requests until
+        # the restart timeout
+        with _sharded(serve_model, serve_config) as server:
+            home = server._route_locked(server._batch_key(packages[0], "reconstruct"))
+            server._shards[home].draining = True
+            rerouted = server._route_locked(server._batch_key(packages[0], "reconstruct"))
+            assert rerouted != home
+            response = server.submit(packages[0]).result(timeout=300.0)
+            assert response.worker.startswith(f"shard-{rerouted}")
+            server._shards[home].draining = False
+
+    def test_graceful_restart_under_concurrent_traffic(self, serve_config,
+                                                       serve_model, packages):
+        with _sharded(serve_model, serve_config) as server:
+            server.submit(packages[0]).result(timeout=300.0)  # warm
+            stop_submitting = threading.Event()
+            outcomes = []
+            errors = []
+
+            def submitter():
+                while not stop_submitting.is_set():
+                    try:
+                        outcomes.append(server.submit(packages[0]).result(timeout=300.0))
+                    except ServerOverloadedError:
+                        pass
+                    except Exception as error:  # noqa: BLE001 - fails the test
+                        errors.append(error)
+                        return
+            thread = threading.Thread(target=submitter)
+            thread.start()
+            try:
+                time.sleep(0.05)
+                started = time.perf_counter()
+                server.restart_shard(0, graceful=True, timeout=60.0)
+                restart_s = time.perf_counter() - started
+            finally:
+                stop_submitting.set()
+                thread.join(timeout=60.0)
+            response = server.submit(packages[0]).result(timeout=300.0)
+        assert not thread.is_alive()
+        assert not errors, f"traffic failed during graceful restart: {errors[:3]}"
+        assert outcomes, "no traffic flowed during the restart"
+        assert restart_s < 30.0, "graceful restart burned its drain timeout"
+        assert response.image.shape == packages[0].original_shape
+
+    def test_stop_wakes_blocking_submitter_with_queue_closed(self, serve_config,
+                                                             serve_model, packages):
+        # regression: stop() set _closed without notifying _not_full, so a
+        # blocking-mode submitter stalled its full put_timeout and then raised
+        # the wrong error (ServerOverloadedError instead of QueueClosedError)
+        server = _sharded(serve_model, serve_config, num_shards=1, queue_depth=1,
+                          admission_policy="block", put_timeout=30.0,
+                          batch_policy=BatchPolicy(max_batch_size=1, max_wait_ms=0.5))
+        outcomes = []
+        with server:
+            for _ in range(3):  # fill the shard window so the next put blocks
+                try:
+                    server.submit(packages[0])
+                except ServerOverloadedError:
+                    break
+
+            def blocked_submitter():
+                try:
+                    server.submit(packages[0])
+                    outcomes.append("admitted")
+                except QueueClosedError:
+                    outcomes.append("closed")
+                except ServerOverloadedError:
+                    outcomes.append("overloaded")
+
+            thread = threading.Thread(target=blocked_submitter)
+            thread.start()
+            time.sleep(0.05)
+            started = time.perf_counter()
+            server.stop(timeout=60.0)
+            thread.join(timeout=10.0)
+            woke_s = time.perf_counter() - started
+        assert not thread.is_alive(), "stop() left a submitter blocked in admission"
+        assert woke_s < 25.0, "blocking submitter waited out put_timeout despite stop()"
+        assert outcomes in (["closed"], ["admitted"])
+
+    def test_base_codec_reaches_the_shards(self, serve_config, serve_model, packages):
+        # parity with the threaded server: the configured fallback codec is
+        # seeded into each shard's prototype cache
+        with _sharded(serve_model, serve_config, num_shards=1,
+                      base_codec=JpegCodec(quality=75)) as server:
+            assert server._server_options["base_codec"].name == "jpeg-q75"
+            response = server.submit(packages[0]).result(timeout=300.0)
+        assert response.config_summary["base_codec"] == "jpeg-q75"
+
+    def test_start_after_stop_reopens_admission(self, serve_config, serve_model,
+                                                packages):
+        # regression: stop() left _closed set, so a restarted pool rejected
+        # every submit with QueueClosedError while leaking idle shards
+        server = _sharded(serve_model, serve_config, num_shards=1)
+        with server:
+            server.submit(packages[0]).result(timeout=300.0)
+        with pytest.raises(QueueClosedError):
+            server.submit(packages[0])
+        server.start()
+        try:
+            response = server.submit(packages[0]).result(timeout=300.0)
+            assert response.image.shape == packages[0].original_shape
+        finally:
+            server.stop(timeout=300.0)
+
+    def test_submit_requires_started_server(self, serve_config, serve_model, packages):
+        server = _sharded(serve_model, serve_config)
+        with pytest.raises(RuntimeError, match="not started"):
+            server.submit(packages[0])
+
+    def test_rejects_unknown_kind_and_bad_config(self, serve_config, serve_model,
+                                                 packages):
+        with pytest.raises(ValueError, match="num_shards"):
+            ShardedCompressionServer(model=serve_model, config=serve_config,
+                                     num_shards=0)
+        with _sharded(serve_model, serve_config, num_shards=1) as server:
+            with pytest.raises(ValueError, match="kind"):
+                server.submit(packages[0], kind="transcode")
+
+    def test_stop_of_crashed_pool_is_prompt(self, serve_config, serve_model, packages):
+        # a shard killed just before stop() must not make shutdown sleep out
+        # the whole drain deadline waiting for responses that can never come
+        server = _sharded(serve_model, serve_config)
+        server.start()
+        server.submit(packages[0]).result(timeout=300.0)
+        pendings = [server.submit(package) for package in packages]
+        for shard in server._shards:
+            shard.process.kill()
+        started = time.perf_counter()
+        server.stop(timeout=60.0)
+        elapsed = time.perf_counter() - started
+        assert elapsed < 30.0, "stop() burned its drain deadline on a crashed pool"
+        for pending in pendings:
+            assert pending.done()
+            with pytest.raises((ShardFailedError, QueueClosedError)):
+                pending.result(timeout=0.0)
+
+    def test_stop_drains_no_stranded_futures(self, serve_config, serve_model, packages):
+        """Sharded shutdown: every submitted future resolves or gets a
+        QueueClosedError — nothing left blocking forever."""
+        server = _sharded(serve_model, serve_config)
+        server.start()
+        pendings = [server.submit(package) for package in packages * 3]
+        server.stop(timeout=300.0)
+        outcomes = {"ok": 0, "closed": 0}
+        for pending in pendings:
+            assert pending.done(), "stop() left a stranded PendingResult"
+            try:
+                pending.result(timeout=0.0)
+                outcomes["ok"] += 1
+            except QueueClosedError:
+                outcomes["closed"] += 1
+        assert outcomes["ok"] + outcomes["closed"] == len(pendings)
+        with pytest.raises(QueueClosedError):
+            server.submit(packages[0])
+
+
+# --------------------------------------------------------------------------- #
+# admission queue close/drain races (sharded shutdown path)
+# --------------------------------------------------------------------------- #
+class TestAdmissionQueueCloseRaces:
+    def test_close_wakes_blocked_putter_with_queue_closed(self):
+        queue = AdmissionQueue(max_depth=1, policy="block", put_timeout=30.0)
+        queue.put("a")
+        outcome = []
+
+        def blocked_putter():
+            try:
+                queue.put("b")
+                outcome.append("admitted")
+            except QueueClosedError:
+                outcome.append("closed")
+            except ServerOverloadedError:
+                outcome.append("overloaded")
+
+        thread = threading.Thread(target=blocked_putter)
+        thread.start()
+        time.sleep(0.05)  # let the putter block on the not_full condition
+        queue.close()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive(), "close() left a submitter blocked mid-put"
+        assert outcome == ["closed"]
+
+    def test_close_wakes_blocked_popper(self):
+        queue = AdmissionQueue(max_depth=4)
+        results = []
+        thread = threading.Thread(target=lambda: results.append(queue.pop(timeout=30.0)))
+        thread.start()
+        time.sleep(0.05)
+        queue.close()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert results == [None]
+
+    def test_concurrent_close_and_put_storm_strands_nothing(self):
+        queue = AdmissionQueue(max_depth=4, policy="block", put_timeout=0.2)
+        admitted, refused = [], []
+
+        def submitter(tag):
+            try:
+                queue.put(tag)
+                admitted.append(tag)
+            except (QueueClosedError, ServerOverloadedError):
+                refused.append(tag)
+
+        threads = [threading.Thread(target=submitter, args=(index,))
+                   for index in range(16)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.02)
+        queue.close()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert all(not thread.is_alive() for thread in threads)
+        assert len(admitted) + len(refused) == 16
+        drained = []
+        while True:
+            item = queue.pop(timeout=0.0)
+            if item is None:
+                break
+            drained.append(item)
+        assert sorted(drained) == sorted(admitted)
+
+
+# --------------------------------------------------------------------------- #
+# load generator: failure collection, NaN reporting, M/D/c bridge
+# --------------------------------------------------------------------------- #
+class _AlwaysRejectingServer:
+    """Stub whose admission queue is permanently full."""
+
+    parallelism = 1
+
+    def __init__(self):
+        self.stats = ServerStats()
+
+    def submit(self, package, kind="reconstruct"):
+        self.stats.record_rejected()
+        raise ServerOverloadedError("queue at capacity")
+
+
+class TestLoadGeneratorFixes:
+    def test_one_failed_request_does_not_lose_the_report(self, serve_config,
+                                                         serve_model, packages):
+        import dataclasses
+        healthy = packages[0]
+        corrupt_payload = dataclasses.replace(
+            healthy.codec_payload,
+            payload=healthy.codec_payload.payload[:12] + b"\xff" * 6)
+        corrupt = dataclasses.replace(healthy, codec_payload=corrupt_payload)
+        with CompressionServer(model=serve_model, config=serve_config,
+                               num_workers=1, queue_depth=64) as server:
+            generator = PoissonLoadGenerator(server, rng=np.random.default_rng(5))
+            report = generator.run([healthy, corrupt], arrival_rate_rps=50.0,
+                                   num_requests=6, timeout=300.0)
+        assert report.failed == 3  # every other request cycles onto the corrupt frame
+        assert report.completed == 3
+        assert report.latency_p50_ms > 0  # surviving latencies still reported
+        assert report.completed + report.failed + report.rejected == report.num_requests
+
+    def test_zero_completions_reports_nan_not_fake_zero(self, packages):
+        generator = PoissonLoadGenerator(_AlwaysRejectingServer(),
+                                         rng=np.random.default_rng(6))
+        report = generator.run(packages[:1], arrival_rate_rps=100.0,
+                               num_requests=5, warmup=False)
+        assert report.completed == 0
+        assert report.rejected == 5
+        assert report.saturated  # everything rejected == overload by definition
+        assert math.isnan(report.latency_p50_ms)
+        assert math.isnan(report.latency_p99_ms)
+        assert math.isnan(report.observed_wait_mean_ms)
+        assert math.isnan(report.service_time_per_image_ms)
+
+    def test_cache_absorbed_run_reports_zero_wait_not_nan(self, serve_config,
+                                                          serve_model, packages):
+        # a static scene fully served from the result cache did not queue at
+        # all: utilisation and waits are genuinely zero, not "no data"
+        with CompressionServer(model=serve_model, config=serve_config,
+                               num_workers=1, result_cache_size=8) as server:
+            generator = PoissonLoadGenerator(server, rng=np.random.default_rng(8))
+            # warmup populates the cache with the single distinct frame
+            report = generator.run(packages[:1], arrival_rate_rps=100.0,
+                                   num_requests=4, timeout=300.0)
+        assert report.completed == 4
+        assert not report.saturated
+        assert report.utilisation == 0.0
+        assert report.predicted_wait_mdc_ms == 0.0
+        assert report.observed_wait_mean_ms == 0.0
+        assert math.isnan(report.service_time_per_image_ms)  # nothing measured
+
+    def test_sharded_observed_wait_tracks_mdc_prediction(self, serve_config,
+                                                         serve_model, packages):
+        # the sharded analogue of the M/D/1 light-load bracket: at low
+        # utilisation both the observed wait and the M/D/c prediction sit far
+        # below the per-image service time
+        with _sharded(serve_model, serve_config, queue_depth=64) as server:
+            generator = PoissonLoadGenerator(server, rng=np.random.default_rng(4))
+            report = generator.run(packages[:2], arrival_rate_rps=2.0,
+                                   num_requests=6, timeout=300.0)
+        assert report.servers == 2
+        assert not report.saturated
+        assert report.utilisation < 0.5
+        assert report.predicted_wait_mdc_ms < report.service_time_per_image_ms
+        assert report.predicted_wait_mdc_ms <= report.predicted_wait_md1_ms
+        assert report.observed_wait_mean_ms < report.latency_mean_ms
+        assert f"M/D/{report.servers}" in report.headline()
+
+
+# --------------------------------------------------------------------------- #
+# snapshot aggregation
+# --------------------------------------------------------------------------- #
+class TestAggregateSnapshots:
+    def test_counters_add_and_percentiles_weight(self):
+        a = ServerStats()
+        a.record_batch(2, queue_waits=[0.01, 0.01], latencies=[0.1, 0.1],
+                       service_seconds=0.05)
+        b = ServerStats()
+        b.record_batch(1, queue_waits=[0.02], latencies=[0.3], service_seconds=0.04)
+        merged = aggregate_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["completed"] == 3
+        assert merged["batches"] == 2
+        assert merged["batch_size_histogram"] == {1: 1, 2: 1}
+        assert merged["service_seconds_total"] == pytest.approx(0.09)
+        # completion-weighted latency: (2*100 + 1*300) / 3
+        assert merged["latency_p50_ms"] == pytest.approx(500.0 / 3.0)
+        assert len(merged["shards"]) == 2
+
+    def test_empty_is_well_formed(self):
+        merged = aggregate_snapshots([])
+        assert merged["completed"] == 0
+        assert merged["shards"] == []
