@@ -21,7 +21,6 @@ from repro.codecs import JpegCodec
 from repro.core import (
     BitrateController,
     EaszCodec,
-    EaszConfig,
     MaskSpec,
     encode_mask,
     erase_and_squeeze_image,

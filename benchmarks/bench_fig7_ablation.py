@@ -34,10 +34,14 @@ from repro.metrics import brisque, mse
 def _fig7ab_rows(image, easz_codec_factory, base_name):
     if base_name == "jpeg":
         qualities = (30, 60, 85)
-        make_base = lambda quality: JpegCodec(quality=quality)
+
+        def make_base(quality):
+            return JpegCodec(quality=quality)
     else:
         qualities = (40, 34, 28)
-        make_base = lambda quality: BpgCodec(qp=quality)
+
+        def make_base(quality):
+            return BpgCodec(qp=quality)
     rows = []
     for quality in qualities:
         base = make_base(quality)

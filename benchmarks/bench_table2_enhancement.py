@@ -8,7 +8,6 @@ BRISQUE, PI and TReS — the same rows as the paper's Table II.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.codecs import BpgCodec, ChengCodec, JpegCodec, MbtCodec

@@ -9,7 +9,6 @@ quantities the paper reports, and EXPERIMENTS.md records paper-vs-measured.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.codecs import JpegCodec, LearnedTransformCodec

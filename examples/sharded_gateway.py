@@ -18,8 +18,13 @@ the same story out to a *pool* — the deployment shape the ROADMAP's
    against the live pool and the observed queueing delay is printed next to
    the M/D/c prediction (Erlang-C with the Cosmetatos deterministic-service
    correction) that :mod:`repro.edge.fleet` computes analytically;
-5. **shard restart** — one shard is restarted in place mid-traffic to show
-   the pool absorbing a failure without dropping the other shards' work.
+5. **zero-copy responses** — the pool runs with the shared-memory response
+   ring (the default), so reconstructed pixels come back without the
+   per-response ``tobytes``/queue-pickle copies; the transport split is
+   printed from telemetry;
+6. **shard health watchdog + restart** — one shard is restarted in place
+   mid-traffic, then another is killed outright and the watchdog replaces
+   it automatically (restart counts come from the same telemetry snapshot).
 """
 
 from __future__ import annotations
@@ -97,6 +102,26 @@ def restart_demo(server, containers):
           "with the rest of the pool undisturbed.")
 
 
+def watchdog_demo(server, containers):
+    """Kill a shard outright and let the health watchdog replace it."""
+    import time
+
+    victim = server._shards[1]
+    old_pid = victim.process.pid
+    victim.process.kill()
+    deadline = time.perf_counter() + 60.0
+    while time.perf_counter() < deadline:
+        current = server._shards[1]
+        if current.is_alive() and current.process.pid != old_pid:
+            break
+        time.sleep(0.05)
+    response = server.submit_bytes(containers[0]).result(timeout=120.0)
+    watchdog = server.stats.snapshot()["watchdog"]
+    print(f"\nShard 1 (pid {old_pid}) was killed; the watchdog restarted it "
+          f"(pool restarts so far: {watchdog['restarts_total']}) and the next "
+          f"frame was served by {response.worker}.")
+
+
 def main():
     config = default_benchmark_config()
     model = pretrained_model(config, steps=600, batch_size=32)
@@ -105,22 +130,29 @@ def main():
     server = ShardedCompressionServer(
         model=model, config=config, num_shards=2,
         batch_policy=BatchPolicy(max_batch_size=4, max_wait_ms=4.0, mode="adaptive"),
+        watchdog_interval_s=0.25,
     )
     with server:
         pool_roundtrip(server, frames, containers)
         congestion_replay(server, packages)
         restart_demo(server, containers)
+        watchdog_demo(server, containers)
         snapshot = server.stats.snapshot()
+    transports = ", ".join(f"{name}={count}" for name, count
+                           in sorted(snapshot["response_transport"].items()))
     print(f"\nPool stats: {snapshot['completed']} images across "
           f"{snapshot['num_shards']} shards, p50 {snapshot['latency_p50_ms']:.1f} ms, "
           f"mean batch {snapshot['mean_batch_size']:.1f}, "
-          f"batch histogram {snapshot['batch_size_histogram']}")
+          f"batch histogram {snapshot['batch_size_histogram']}, "
+          f"response transport [{transports}]")
     static_scene_cache(model, config, containers)
     print("\nEach shard owns its model weights and caches, so the pool scales "
           "with cores instead of fighting one GIL; consistent routing keeps a "
-          "camera's mask/geometry on the same warm shard, the adaptive wait "
-          "keeps idle latency at singles, and the M/D/c line shows the "
-          "queueing model tracking a c-server pool.")
+          "camera's mask/geometry on the same warm shard (mask affinity keeps "
+          "multi-geometry fleets together), responses come back through the "
+          "zero-copy shared-memory ring, the watchdog replaces crashed shards "
+          "with no lost responses, and the M/D/c line shows the queueing model "
+          "tracking a c-server pool.")
 
 
 if __name__ == "__main__":

@@ -21,7 +21,6 @@ import numpy as np
 
 from ..entropy.bitio import BitReader, BitWriter
 from ..image import (
-    ensure_color,
     image_num_pixels,
     is_color,
     pad_to_multiple,
@@ -33,7 +32,6 @@ from ..image import (
 from .base import Codec, ComplexityProfile, CompressedImage
 from .jpeg_tables import (
     CHROMINANCE_QUANT_TABLE,
-    INVERSE_ZIGZAG_ORDER,
     LUMINANCE_QUANT_TABLE,
     STANDARD_AC_CHROMINANCE,
     STANDARD_AC_LUMINANCE,

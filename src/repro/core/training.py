@@ -19,7 +19,7 @@ from .. import nn
 from ..datasets.loaders import PatchBatcher
 from ..metrics.lpips import PerceptualLoss
 from .config import EaszConfig
-from .patchify import patch_to_subpatches, subpatches_to_tokens, tokens_to_subpatches
+from .patchify import patch_to_subpatches, subpatches_to_tokens
 from .reconstruction import EaszReconstructor
 from .sampler import RowConditionalSampler
 

@@ -85,21 +85,23 @@ class HuffmanCode:
     def _limit_lengths(self, max_length):
         # Kraft-inequality repair: shorten the histogram until it fits.
         counts = Counter(self.lengths.values())
-        overflow = sorted((l for l in counts if l > max_length), reverse=True)
+        overflow = sorted((length for length in counts if length > max_length),
+                          reverse=True)
         if not overflow:
             return
         symbols_by_length = sorted(self.lengths.items(), key=lambda kv: (kv[1], repr(kv[0])))
-        lengths = [min(l, max_length) for _, l in symbols_by_length]
+        lengths = [min(length, max_length) for _, length in symbols_by_length]
         # Repair the Kraft sum by extending the shortest codes if necessary.
         def kraft(ls):
-            return sum(2.0 ** -l for l in ls)
+            return sum(2.0 ** -length for length in ls)
         idx = len(lengths) - 1
         while kraft(lengths) > 1.0 and idx >= 0:
             if lengths[idx] < max_length:
                 lengths[idx] += 1
             else:
                 idx -= 1
-        self.lengths = {sym: l for (sym, _), l in zip(symbols_by_length, lengths)}
+        self.lengths = {sym: length
+                        for (sym, _), length in zip(symbols_by_length, lengths)}
 
     @staticmethod
     def _canonical_codes(lengths):

@@ -30,7 +30,7 @@ import numpy as np
 
 from .. import __version__
 from ..codecs import available_codecs, create_codec, quality_grid
-from ..core import EaszCodec, EaszConfig, EaszDecoder, EaszEncoder
+from ..core import EaszCodec, EaszDecoder, EaszEncoder
 from ..core.pipeline import EaszCompressed
 from ..core.transport import load_package, save_package
 from ..datasets import CifarLikeDataset, ClicDataset, KodakDataset
@@ -116,6 +116,16 @@ def build_parser():
     serve_bench.add_argument("--shards", type=int, default=0,
                              help="serve from N worker processes instead of threads "
                                   "(0 = threaded server)")
+    serve_bench.add_argument("--shm", action=argparse.BooleanOptionalAction,
+                             default=True,
+                             help="serve sharded responses through the zero-copy "
+                                  "shared-memory ring (--no-shm forces the queue "
+                                  "path; ignored without --shards)")
+    serve_bench.add_argument("--watchdog", action="store_true",
+                             help="run the shard health watchdog (auto-restart of "
+                                  "crashed shards; ignored without --shards)")
+    serve_bench.add_argument("--watchdog-interval", type=float, default=1.0,
+                             help="watchdog probe interval in seconds (must be > 0)")
     serve_bench.add_argument("--result-cache", type=int, default=0,
                              help="cross-request result cache capacity (0 = off)")
     serve_bench.add_argument("--adaptive-wait", action="store_true",
@@ -408,7 +418,17 @@ def _experiment_table2(args):
 def _command_serve_bench(args):
     """Replay Poisson load against a live micro-batching server."""
     from ..serve import (BatchPolicy, CompressionServer, PoissonLoadGenerator,
-                         ShardedCompressionServer)
+                         ShardedCompressionServer, available_cpus)
+
+    if args.shards > 0 and not args.watchdog_interval > 0:
+        # fail before the model is built, like BatchPolicy's poll_interval_ms
+        raise ValueError("--watchdog-interval must be positive")
+    if args.shards > 0 and available_cpus() < 2:
+        # not silent: sharding cannot beat the threaded server here, and the
+        # throughput benchmark records a `skipped` marker on such hosts
+        print(f"warning: host exposes {available_cpus()} CPU; {args.shards} "
+              "process shards will not run in parallel (numbers reflect "
+              "transport overhead only)", file=sys.stderr)
 
     config = default_benchmark_config()
     model = pretrained_model(config, steps=args.train_steps)
@@ -425,7 +445,8 @@ def _command_serve_bench(args):
             model=model, config=config, num_shards=args.shards,
             workers_per_shard=max(1, args.workers // args.shards),
             queue_depth=args.queue_depth, batch_policy=batch_policy,
-            result_cache_size=args.result_cache,
+            result_cache_size=args.result_cache, use_shm=args.shm,
+            watchdog_interval_s=args.watchdog_interval if args.watchdog else None,
         )
     else:
         server = CompressionServer(
@@ -441,7 +462,7 @@ def _command_serve_bench(args):
 
     mode = (f"{args.shards} process shards" if args.shards > 0
             else f"{args.workers} worker threads")
-    print(format_kv_block(f"serve-bench (observed, {mode})", {
+    block = {
         "requests": f"{report.completed}/{report.num_requests} "
                     f"(rejected {report.rejected}, failed {report.failed})",
         "offered rate (rps)": report.offered_rps,
@@ -454,7 +475,20 @@ def _command_serve_bench(args):
         "service time / image (ms)": report.service_time_per_image_ms,
         "mean batch size": report.mean_batch_size,
         "result-cache hits": snapshot["result_cache"]["hits"],
-    }))
+    }
+    if args.shards > 0:
+        transports = snapshot.get("response_transport", {})
+        block["response transport"] = (", ".join(
+            f"{name}={count}" for name, count in sorted(transports.items()))
+            or "(none)")
+        shm_stats = snapshot.get("shm", {})
+        block["shm ring"] = (
+            f"{shm_stats.get('num_slots', 0)} x {shm_stats.get('slot_bytes', 0)} B"
+            if shm_stats.get("enabled") else "off (queue path)")
+        watchdog = snapshot.get("watchdog", {})
+        if watchdog.get("enabled"):
+            block["watchdog restarts"] = watchdog.get("restarts_total", 0)
+    print(format_kv_block(f"serve-bench (observed, {mode})", block))
     print()
     rows = [[size, count] for size, count in snapshot["batch_size_histogram"].items()]
     print(format_table(["batch size", "batches"], rows, title="micro-batch histogram"))

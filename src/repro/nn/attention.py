@@ -10,8 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from . import functional as F
-from . import init
-from .layers import Linear, Module, Parameter
+from .layers import Linear, Module
 
 __all__ = ["MultiHeadSelfAttention"]
 

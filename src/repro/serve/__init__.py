@@ -54,6 +54,47 @@ use when                     interactive latency,       throughput-bound fleets 
                              single-core hosts, tests   multi-core hosts
 ===========================  =========================  ==========================
 
+Sharded response path: shm ring vs queue
+----------------------------------------
+
+The sharded server moves finished pixels back to the parent one of two ways
+(``ServeResponse.transport`` names which served each request, telemetry
+counts both):
+
+===========================  =========================  ==========================
+concern                      queue path (``use_shm=     shm ring (``use_shm=True``,
+                             False``)                   the default)
+===========================  =========================  ==========================
+per-response cost            ``tobytes`` + queue pickle one copy into the slot,
+                             + pipe chunking + parent   one copy out (the lease
+                             copy (4 copies of the      descriptor rides the
+                             pixels)                    queue; pixels never do)
+requirements                 none                       ``/dev/shm`` large enough
+                                                        for ``shm_slots x
+                                                        shm_slot_bytes`` (Docker
+                                                        defaults /dev/shm to
+                                                        64 MiB — size the ring
+                                                        accordingly)
+oversized / overflow         n/a                        responses larger than
+                                                        ``shm_slot_bytes`` (or a
+                                                        full ring) fall back to
+                                                        the queue path per
+                                                        response, automatically
+crash safety                 queue messages die with    leases are reclaimed by
+                             the shard                  owner; per-slot sequence
+                                                        numbers make stale acks
+                                                        inert
+use when                     tiny responses (thumbnail  responses are the full
+                             decode), /dev/shm-starved  reconstructed frames —
+                             containers                 the common serving case
+===========================  =========================  ==========================
+
+With ``watchdog_interval_s`` set, a parent-side watchdog additionally
+auto-restarts crashed shards (exponential backoff, restart counts in
+``stats.snapshot()["watchdog"]``); in-flight requests of the dead shard are
+re-routed to live shards by the collector's reaper, so callers see neither
+lost nor duplicated responses.
+
 Quick start::
 
     from repro.serve import CompressionServer
@@ -79,6 +120,7 @@ from .queueing import AdmissionQueue, QueueClosedError, ServerOverloadedError
 from .server import CompressionServer, PendingResult, ServeRequest, ServeResponse
 from .sharding import (ShardedCompressionServer, ShardFailedError, ShardHandle,
                        available_cpus)
+from .shm import ShmRing, shm_available
 from .telemetry import LatencyWindow, ServerStats, aggregate_snapshots
 from .worker import ServeWorker
 
@@ -102,6 +144,8 @@ __all__ = [
     "ShardedCompressionServer",
     "ShardFailedError",
     "ShardHandle",
+    "ShmRing",
     "aggregate_snapshots",
     "available_cpus",
+    "shm_available",
 ]

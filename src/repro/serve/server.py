@@ -48,7 +48,14 @@ _CODEC_NAME_PATTERN = re.compile(r"^(?P<base>[a-z0-9-]+?)-qp?(?P<quality>\d+)$")
 
 @dataclass
 class ServeResponse:
-    """What the server hands back for one request."""
+    """What the server hands back for one request.
+
+    ``transport`` names how the pixels reached the caller: ``"inline"``
+    (same-process, the threaded server), ``"queue"`` (pickled over a
+    multiprocessing queue from a shard), ``"shm"`` (written into the
+    shared-memory ring by a shard) or ``"cache"`` (cross-request result
+    cache, no work executed).
+    """
 
     request_id: int
     image: object
@@ -58,6 +65,7 @@ class ServeResponse:
     batch_size: int = 1
     worker: str = ""
     cached: bool = False
+    transport: str = "inline"
 
 
 class PendingResult:
@@ -138,6 +146,7 @@ def try_resolve_from_result_cache(result_cache, stats, package, kind, pending):
         batch_size=1,
         worker="result-cache",
         cached=True,
+        transport="cache",
     ))
     return cache_key, True
 

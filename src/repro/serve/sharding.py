@@ -29,6 +29,22 @@ Design points:
   :class:`~repro.serve.telemetry.ServerStats` over its control pipe and
   merges them (:func:`repro.serve.telemetry.aggregate_snapshots`), alongside
   the parent-side admission counters and the cross-request result cache.
+* **zero-copy responses** — with ``use_shm=True`` (the default) shards write
+  finished pixels straight into a :class:`~repro.serve.shm.ShmRing` of
+  shared-memory slots and send only a tiny lease descriptor over the queue;
+  the per-response ``tobytes`` + queue-pickle copies disappear.  Responses
+  that outgrow a slot, a full ring, or a host without shared memory all
+  fall back to the queue path per response (``ServeResponse.transport``
+  says which path served each request; telemetry counts both).
+* **shard health watchdog** — ``watchdog_interval_s`` starts a parent-side
+  thread that checks each shard's process liveness and heartbeat every
+  interval and auto-``restart_shard()``\\ s crashed shards with exponential
+  backoff; restart counts and backoff state are part of the snapshot.
+* **spill-aware mask affinity** — routing normally hashes the full batch
+  key, but when one erase mask is observed with several image geometries
+  (a multi-camera fleet sharing a mask template), ``affinity="auto"``
+  switches that mask to mask-digest-only routing so all its traffic lands
+  on one shard's warm plan caches; the load-spill rule is unchanged.
 """
 
 from __future__ import annotations
@@ -48,16 +64,22 @@ import numpy as np
 from ..core.batch_engine import DEFAULT_CHUNK
 from ..core.config import EaszConfig
 from ..core.reconstruction import EaszReconstructor
-from ..core.transport import pack_package, unpack_package
+from ..core.transport import pack_package, pixels_from_buffer, unpack_package
 from .batcher import BatchPolicy
 from .cache import ResultCache
 from .queueing import QueueClosedError, ServerOverloadedError
 from .server import (CompressionServer, PendingResult, ServeResponse,
                      try_resolve_from_result_cache)
+from .shm import ShmRing, shm_available
 from .telemetry import ServerStats, aggregate_snapshots
 
 __all__ = ["ShardedCompressionServer", "ShardHandle", "ShardFailedError",
            "available_cpus"]
+
+#: Default shared-memory ring geometry: slots sized for a 512² RGB float32
+#: (or 256² RGB float64) response with headroom, kept modest so the ring fits
+#: containers whose /dev/shm is capped at the Docker default of 64 MiB.
+_DEFAULT_SHM_SLOT_BYTES = 4 << 20
 
 
 def available_cpus():
@@ -99,16 +121,20 @@ def _rebuild_error(type_name, message):
 
 
 def _shard_main(shard_index, request_queue, response_queue, control_conn,
-                config_kwargs, model_state, server_options):
+                config_kwargs, model_state, server_options, shm_descriptor,
+                heartbeat):
     """Entry point of one shard process.
 
     Rebuilds the model from the shipped ``state_dict`` (start-method agnostic:
     works under ``fork`` and ``spawn`` alike), hosts a full threaded
     :class:`CompressionServer`, and bridges it to the parent: requests arrive
     as ``("req", id, kind, container_bytes)`` tuples on ``request_queue``,
-    finished pixels leave as raw buffers on the shared ``response_queue``,
-    and the control pipe answers ``("stats",)`` probes and acknowledges the
-    drain handshake.
+    finished pixels leave either through the shared-memory ring (a tiny
+    ``("shm", ...)`` lease descriptor on ``response_queue``) or as raw
+    buffers in ``("ok", ...)`` queue messages, and the control pipe answers
+    ``("stats",)`` probes and acknowledges the drain handshake.  The shard
+    stamps ``heartbeat[shard_index]`` with the wall clock every loop
+    iteration so the parent's watchdog can tell a busy shard from a hung one.
     """
     config = EaszConfig(**config_kwargs)
     model = EaszReconstructor(config)
@@ -116,6 +142,13 @@ def _shard_main(shard_index, request_queue, response_queue, control_conn,
     model.eval()
     server = CompressionServer(model=model, config=config, **server_options)
     server.start()
+
+    ring = None
+    if shm_descriptor is not None:
+        try:
+            ring = ShmRing.attach(shm_descriptor)
+        except Exception:  # noqa: BLE001 - ring is a fast path, not a requirement
+            ring = None
 
     inflight_lock = threading.Lock()
     inflight = [0]
@@ -128,23 +161,44 @@ def _shard_main(shard_index, request_queue, response_queue, control_conn,
                 message = _error_message(shard_index, request_id, error)
             else:
                 image = np.ascontiguousarray(response.image)
-                message = ("ok", shard_index, request_id, image.tobytes(),
-                           tuple(image.shape), str(image.dtype), {
-                               "kind": response.kind,
-                               "config_summary": response.config_summary,
-                               "latency_s": response.latency_s,
-                               "batch_size": response.batch_size,
-                               "worker": response.worker,
-                           })
+                meta = {
+                    "kind": response.kind,
+                    "config_summary": response.config_summary,
+                    "latency_s": response.latency_s,
+                    "batch_size": response.batch_size,
+                    "worker": response.worker,
+                }
+                message = None
+                if ring is not None and image.nbytes <= ring.slot_bytes:
+                    lease = ring.claim(shard_index)
+                    if lease is not None:
+                        slot, seq = lease
+                        try:
+                            ring.write(slot, image)
+                        except Exception:  # noqa: BLE001 - fall back to the queue
+                            ring.release(slot, seq, shard_index)
+                        else:
+                            message = ("shm", shard_index, request_id, slot, seq,
+                                       image.nbytes, tuple(image.shape),
+                                       str(image.dtype), meta)
+                if message is None:  # ring off, full, or the response outgrew a slot
+                    message = ("ok", shard_index, request_id, image.tobytes(),
+                               tuple(image.shape), str(image.dtype), meta)
             response_queue.put(message)
             with inflight_lock:
                 inflight[0] -= 1
         return _on_done
 
+    def _beat():
+        if heartbeat is not None:
+            heartbeat[shard_index] = time.time()
+
+    _beat()
     control_conn.send(("ready", shard_index))
     stopping = False
     try:
         while True:
+            _beat()
             while control_conn.poll():
                 command = control_conn.recv()
                 if command and command[0] == "stats":
@@ -271,17 +325,55 @@ class ShardedCompressionServer:
     ``start_method`` picks the multiprocessing start method (platform default
     when ``None``; pass ``"spawn"`` to avoid fork-with-threads hazards at the
     cost of slower startup).
+
+    Zero-copy and health knobs:
+
+    ``use_shm``
+        Serve responses through the shared-memory ring when the host
+        supports it (default).  ``shm_slots`` / ``shm_slot_bytes`` size the
+        ring (defaults: ``max(4, 2 * num_shards)`` slots of 4 MiB); anything
+        that does not fit falls back to the queue path per response.
+    ``watchdog_interval_s``
+        When set (must be ``> 0``), a parent-side watchdog thread probes
+        shard liveness (and heartbeat staleness, see
+        ``watchdog_hang_timeout_s``) every interval and restarts dead shards
+        in place, with exponential backoff from ``watchdog_backoff_s`` up to
+        ``watchdog_backoff_cap_s`` for a shard that keeps dying.  ``None``
+        (default) disables auto-restart; crashes still fail fast through the
+        collector's reaper exactly as before.
+    ``affinity``
+        ``"key"`` routes on the full batch key (PR-3 behaviour), ``"mask"``
+        on the mask digest alone, ``"auto"`` (default) starts on the full
+        key and switches a mask to mask-only routing once it has been seen
+        with more than one image geometry.
     """
 
     def __init__(self, model=None, config=None, num_shards=2, workers_per_shard=1,
                  base_codec=None, queue_depth=64, admission_policy="reject",
                  put_timeout=1.0, batch_policy=None, fill="zero",
                  chunk=DEFAULT_CHUNK, result_cache_size=0, start_method=None,
-                 startup_timeout=120.0, spill_threshold=None):
+                 startup_timeout=120.0, spill_threshold=None, use_shm=True,
+                 shm_slots=None, shm_slot_bytes=None, watchdog_interval_s=None,
+                 watchdog_backoff_s=0.5, watchdog_backoff_cap_s=30.0,
+                 watchdog_hang_timeout_s=None, affinity="auto"):
         if num_shards < 1:
             raise ValueError("num_shards must be at least 1")
         if admission_policy not in ("reject", "block"):
             raise ValueError("admission_policy must be 'reject' or 'block'")
+        if watchdog_interval_s is not None and not watchdog_interval_s > 0:
+            raise ValueError("watchdog_interval_s must be positive")
+        if watchdog_hang_timeout_s is not None and not watchdog_hang_timeout_s > 0:
+            raise ValueError("watchdog_hang_timeout_s must be positive")
+        if not watchdog_backoff_s > 0:
+            raise ValueError("watchdog_backoff_s must be positive")
+        if watchdog_backoff_cap_s < watchdog_backoff_s:
+            raise ValueError("watchdog_backoff_cap_s must be >= watchdog_backoff_s")
+        if affinity not in ("auto", "key", "mask"):
+            raise ValueError("affinity must be 'auto', 'key' or 'mask'")
+        if shm_slots is not None and int(shm_slots) < 1:
+            raise ValueError("shm_slots must be positive")
+        if shm_slot_bytes is not None and int(shm_slot_bytes) < 1:
+            raise ValueError("shm_slot_bytes must be positive")
         self.config = config or (model.config if model is not None else EaszConfig())
         self.model = model or EaszReconstructor(self.config)
         self.num_shards = int(num_shards)
@@ -307,6 +399,18 @@ class ShardedCompressionServer:
         }
         self._context = multiprocessing.get_context(start_method)
         self._startup_timeout = float(startup_timeout)
+        self.use_shm = bool(use_shm)
+        self.shm_slots = (int(shm_slots) if shm_slots is not None
+                          else max(4, 2 * self.num_shards))
+        self.shm_slot_bytes = (int(shm_slot_bytes) if shm_slot_bytes is not None
+                               else _DEFAULT_SHM_SLOT_BYTES)
+        self.watchdog_interval_s = (float(watchdog_interval_s)
+                                    if watchdog_interval_s is not None else None)
+        self.watchdog_backoff_s = float(watchdog_backoff_s)
+        self.watchdog_backoff_cap_s = float(watchdog_backoff_cap_s)
+        self.watchdog_hang_timeout_s = (float(watchdog_hang_timeout_s)
+                                        if watchdog_hang_timeout_s is not None else None)
+        self.affinity = affinity
         self._shards = []
         self._response_queue = None
         self._collector = None
@@ -314,12 +418,24 @@ class ShardedCompressionServer:
         self._lock = threading.Lock()
         self._not_full = threading.Condition(self._lock)
         self._control_lock = threading.Lock()  # Connections are not thread-safe
+        self._restart_lock = threading.Lock()  # one restart_shard at a time
         self._pending = {}  # request_id -> _PendingEntry
         self._retired_snapshots = []  # (index, snapshot) of replaced/drained shards
         self._inflight = []     # per-shard in-flight counts
         self._ids = itertools.count()
         self._started = False
         self._closed = False
+        self._shm_ring = None
+        self._shm_descriptor = None
+        self._heartbeat = None
+        self._watchdog = None
+        self._watchdog_stop = threading.Event()
+        self._watchdog_restarts = [0] * self.num_shards
+        self._watchdog_backoff = [self.watchdog_backoff_s] * self.num_shards
+        self._watchdog_next_allowed = [0.0] * self.num_shards
+        self._watchdog_last_restart = [None] * self.num_shards
+        self._mask_geometries = {}  # mask bytes -> set of observed geometries
+        self._mask_geometries_max = 1024
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -332,12 +448,36 @@ class ShardedCompressionServer:
             name=f"easz-shard-{index}",
             args=(index, request_queue, self._response_queue, child_conn,
                   asdict(self.config), dict(self.model.state_dict()),
-                  self._server_options),
+                  self._server_options, self._shm_descriptor, self._heartbeat),
             daemon=True,
         )
         process.start()
         child_conn.close()
         return ShardHandle(index, process, request_queue, parent_conn)
+
+    def _create_ring(self):
+        """Build the shared-memory response ring, or run without one.
+
+        Any failure (no /dev/shm, quota, exotic platform) downgrades the pool
+        to the queue path — zero-copy is a fast path, never a requirement.
+        """
+        self._shm_ring = None
+        self._shm_descriptor = None
+        if not self.use_shm or not shm_available():
+            return
+        try:
+            self._shm_ring = ShmRing(self.shm_slot_bytes, self.shm_slots,
+                                     context=self._context)
+            self._shm_descriptor = self._shm_ring.descriptor()
+        except Exception:  # noqa: BLE001 - fall back to the queue path
+            self._shm_ring = None
+            self._shm_descriptor = None
+
+    def _release_ring(self):
+        if self._shm_ring is not None:
+            self._shm_ring.close()
+        self._shm_ring = None
+        self._shm_descriptor = None
 
     def _await_ready(self, shard):
         deadline = time.perf_counter() + self._startup_timeout
@@ -362,12 +502,21 @@ class ShardedCompressionServer:
         """
         if self._started:
             return self
+        if self._watchdog is not None:
+            # a previous stop() timed out on a watchdog stuck in a slow
+            # restart; wait it out (it exits at its next _watchdog_stop
+            # check) or clearing the event below would leave two loops alive
+            self._watchdog.join()
+            self._watchdog = None
         self._response_queue = self._context.Queue()
+        self._create_ring()
+        self._heartbeat = self._context.RawArray("d", self.num_shards)
         self._shards = []
         self._inflight = [0] * self.num_shards
         with self._lock:
             self._closed = False
             self._retired_snapshots = []
+            self._mask_geometries = {}
         try:
             for index in range(self.num_shards):
                 self._shards.append(self._spawn_shard(index))
@@ -377,11 +526,21 @@ class ShardedCompressionServer:
             for shard in self._shards:
                 if shard.process.is_alive():
                     shard.process.terminate()
+            self._release_ring()
             raise
         self._collector_stop.clear()
         self._collector = threading.Thread(target=self._collect_loop,
                                            name="shard-collector", daemon=True)
         self._collector.start()
+        self._watchdog_restarts = [0] * self.num_shards
+        self._watchdog_backoff = [self.watchdog_backoff_s] * self.num_shards
+        self._watchdog_next_allowed = [0.0] * self.num_shards
+        self._watchdog_last_restart = [None] * self.num_shards
+        if self.watchdog_interval_s is not None:
+            self._watchdog_stop.clear()
+            self._watchdog = threading.Thread(target=self._watchdog_loop,
+                                              name="shard-watchdog", daemon=True)
+            self._watchdog.start()
         self._started = True
         return self
 
@@ -389,6 +548,16 @@ class ShardedCompressionServer:
         """Drain every shard, reject anything stranded, return merged stats."""
         if not self._started:
             return self.aggregate_snapshot()
+        # quiesce the watchdog first so no auto-restart races the shutdown
+        # (a replacement spawned after the stop sentinels went out would leak)
+        self._watchdog_stop.set()
+        if self._watchdog is not None:
+            self._watchdog.join(timeout=30.0)
+            if not self._watchdog.is_alive():
+                self._watchdog = None
+            # else: it is stuck inside a slow restart; keep the handle so the
+            # next start() can wait it out, and rely on the _closed re-checks
+            # in _restart_shard_locked to kill any replacement it spawns
         with self._lock:
             self._closed = True
             # wake blocking-mode submitters promptly: their wait loop
@@ -444,6 +613,7 @@ class ShardedCompressionServer:
             self._collector.join(timeout=5.0)
         self._started = False
         merged = self._merge_snapshots(final_snapshots)
+        self._release_ring()  # after the collector: it may hold slot views
         return merged
 
     def _await_stopped(self, shard, deadline):
@@ -479,9 +649,37 @@ class ShardedCompressionServer:
         return (kind, package.mask_bytes, tuple(package.original_shape),
                 package.codec_payload.codec_name)
 
-    def _preferred_shard(self, key):
+    def _observe_geometry_locked(self, key):
+        """Track which image geometries each erase mask arrives with.
+
+        Feeds the ``"auto"`` affinity mode: one geometry per mask means the
+        full batch key and the mask agree on a home shard anyway; a second
+        geometry (multi-camera fleet sharing a mask template) flips that mask
+        to mask-only routing so every camera hits the same warm plan caches.
+        Bounded so adversarial mask churn cannot grow parent memory.
+        """
+        if self.affinity != "auto":
+            return
+        geometries = self._mask_geometries.get(key[1])
+        if geometries is None:
+            if len(self._mask_geometries) >= self._mask_geometries_max:
+                self._mask_geometries.pop(next(iter(self._mask_geometries)))
+            geometries = set()
+            self._mask_geometries[key[1]] = geometries
+        geometries.add(key[2])
+
+    def _mask_affine_locked(self, key):
+        """Whether routing for this key should use the mask digest alone."""
+        if self.affinity == "mask":
+            return True
+        if self.affinity == "key":
+            return False
+        return len(self._mask_geometries.get(key[1], ())) > 1
+
+    def _preferred_shard(self, key, mask_only=False):
         hasher = hashlib.blake2b(digest_size=8)
-        hasher.update(repr((key[0], key[2], key[3])).encode("utf-8"))
+        if not mask_only:
+            hasher.update(repr((key[0], key[2], key[3])).encode("utf-8"))
         hasher.update(key[1])
         return int.from_bytes(hasher.digest(), "big") % self.num_shards
 
@@ -493,7 +691,7 @@ class ShardedCompressionServer:
         live shard takes the overflow so one hot key saturates the whole pool
         instead of one process.
         """
-        preferred = self._preferred_shard(key)
+        preferred = self._preferred_shard(key, mask_only=self._mask_affine_locked(key))
         if (self._shards[preferred].accepts_work()
                 and self._inflight[preferred] < self.spill_threshold):
             return preferred
@@ -521,11 +719,13 @@ class ShardedCompressionServer:
         cache_key, hit = try_resolve_from_result_cache(
             self.result_cache, self.local_stats, package, kind, pending)
         if hit:
+            self.local_stats.record_response_transport("cache")
             return pending
         key = self._batch_key(package, kind)
         with self._lock:
             if self._closed:
                 raise QueueClosedError("server is shut down")
+            self._observe_geometry_locked(key)
             # route, then re-route after every condition wake: the shard that
             # was full before the wait may have crashed (and been reaped)
             # while the submitter slept — enqueueing onto its dead queue
@@ -643,6 +843,11 @@ class ShardedCompressionServer:
                 self._not_full.notify_all()
             # mark so the sweep (and telemetry) treats the handle as retired
             shard.stopped_snapshot = {}
+            if self._shm_ring is not None:
+                # free ring slots the dead shard still leased; any of its
+                # responses still queued become stale (seq-bumped) and are
+                # dropped safely by _read_shm_response
+                self._shm_ring.reclaim(shard.index)
             for entry in crashed:
                 error = ShardFailedError(
                     f"shard {shard.index} died (exit code "
@@ -683,6 +888,34 @@ class ShardedCompressionServer:
                     self._not_full.notify_all()
             return False
 
+    def _read_shm_response(self, message):
+        """Copy the pixels out of a leased ring slot and ack the lease.
+
+        Returns the image, or ``None`` when the lease is stale (the writing
+        shard crashed and the reaper already reclaimed its slots — the slot
+        may belong to someone else now, so neither read nor free it on the
+        strength of this message).
+        """
+        _, shard_index, _, slot, seq, nbytes, shape, dtype_name, _ = message
+        ring = self._shm_ring
+        if ring is None:
+            return None
+        image = None
+        try:
+            slot_view = ring.read(slot, nbytes)
+            try:
+                # copy=True: the slot is recycled the moment we ack, so the
+                # response must own its pixels (this is the single parent-side
+                # copy of the zero-copy path)
+                image = pixels_from_buffer(slot_view, shape, dtype_name, copy=True)
+            finally:
+                slot_view.release()
+        except Exception:  # noqa: BLE001 - a malformed descriptor must not
+            image = None   # wedge the collector; the lease is still acked below
+        if not ring.release(slot, seq, shard_index):
+            return None
+        return image
+
     def _dispatch_response(self, message):
         tag, shard_index, request_id = message[0], message[1], message[2]
         with self._lock:
@@ -690,19 +923,48 @@ class ShardedCompressionServer:
             if entry is not None:
                 self._inflight[entry.shard] = max(self._inflight[entry.shard] - 1, 0)
                 self._not_full.notify_all()
+        if tag == "shm" and entry is None:
+            # shard restarted underneath it (future already failed), but the
+            # lease may still be live — ack it so the slot is not stranded
+            # until the reaper's reclaim
+            _, _, _, slot, seq = message[:5]
+            if self._shm_ring is not None:
+                self._shm_ring.release(slot, seq, shard_index)
+            return
         if entry is None:  # shard restarted underneath it, future already failed
             return
-        if tag == "ok":
-            _, _, _, buffer, shape, dtype_name, meta = message
-            view = np.frombuffer(buffer, dtype=np.dtype(dtype_name)).reshape(shape)
-            if entry.cache_key is not None:
-                # the read-only frombuffer view aliases the immutable message
-                # bytes, so the cache can keep it without its defensive copy
-                # (lookup() still copies on every hit)
-                self.result_cache.put(entry.cache_key, view, copy=False)
+        if tag in ("ok", "shm"):
+            if tag == "shm":
+                meta = message[8]
+                image = self._read_shm_response(message)
+                if image is None:
+                    # stale lease: the pixels are unreachable; treat like a
+                    # crashed shard so the caller is re-routed or failed
+                    if not self._redispatch(entry):
+                        self.local_stats.record_failure(1)
+                        entry.pending._reject(ShardFailedError(
+                            f"shard {shard_index} lost its shm lease for "
+                            f"request {request_id}"))
+                    return
+                if entry.cache_key is not None:
+                    # the response copy stays private to the caller; the
+                    # cache takes its own (lookup() also copies on hits)
+                    self.result_cache.put(entry.cache_key, image, copy=True)
+                response_image = image
+            else:
+                _, _, _, buffer, shape, dtype_name, meta = message
+                view = pixels_from_buffer(buffer, shape, dtype_name)
+                if entry.cache_key is not None:
+                    # the read-only view aliases the immutable message bytes,
+                    # so the cache can keep it without its defensive copy
+                    # (lookup() still copies on every hit)
+                    self.result_cache.put(entry.cache_key, view, copy=False)
+                response_image = view.copy()
+            self.local_stats.record_response_transport(
+                "shm" if tag == "shm" else "queue")
             entry.pending._resolve(ServeResponse(
                 request_id=request_id,
-                image=view.copy(),
+                image=response_image,
                 kind=meta["kind"],
                 config_summary=dict(meta["config_summary"]),
                 # end-to-end from the parent's submit(), so threaded-vs-sharded
@@ -711,6 +973,7 @@ class ShardedCompressionServer:
                 latency_s=time.perf_counter() - entry.submitted_at,
                 batch_size=meta["batch_size"],
                 worker=f"shard-{shard_index}/{meta['worker']}",
+                transport="shm" if tag == "shm" else "queue",
             ))
             return
         _, _, _, type_name, text = message
@@ -744,6 +1007,12 @@ class ShardedCompressionServer:
             raise RuntimeError("server not started")
         if not 0 <= index < self.num_shards:
             raise ValueError(f"no shard {index}")
+        with self._restart_lock:
+            if self._closed:
+                raise RuntimeError("server is stopping")
+            return self._restart_shard_locked(index, graceful, timeout)
+
+    def _restart_shard_locked(self, index, graceful, timeout):
         shard = self._shards[index]
         deadline = time.perf_counter() + timeout
         if graceful and shard.is_alive():
@@ -763,6 +1032,10 @@ class ShardedCompressionServer:
         if shard.process.is_alive():
             shard.process.terminate()
         shard.process.join(timeout=5.0)
+        if self._shm_ring is not None:
+            # slots the old process still leased are unreachable now; free
+            # them (seq bump makes any still-queued acks from it stale)
+            self._shm_ring.reclaim(index)
         stranded = []
         with self._lock:
             for request_id, entry in list(self._pending.items()):
@@ -781,6 +1054,8 @@ class ShardedCompressionServer:
             if not self._redispatch(entry):
                 self.local_stats.record_failure(1)
                 entry.pending._reject(error)
+        if self._closed:
+            raise RuntimeError("server is stopping")
         replacement = self._spawn_shard(index)
         try:
             self._await_ready(replacement)
@@ -791,8 +1066,101 @@ class ShardedCompressionServer:
                 replacement.process.terminate()
             replacement.process.join(timeout=1.0)
             raise
+        if self._closed:
+            # a stop() raced the spawn (it only waits 30s for a wedged
+            # watchdog): never hand a live process to a shut-down pool
+            replacement.process.terminate()
+            replacement.process.join(timeout=1.0)
+            raise RuntimeError("server stopped during shard restart")
         self._shards[index] = replacement
         return replacement
+
+    # ------------------------------------------------------------------ #
+    # health watchdog
+    # ------------------------------------------------------------------ #
+    def _heartbeat_age_s(self, index):
+        """Seconds since shard ``index`` last stamped its heartbeat (None unknown)."""
+        if self._heartbeat is None:
+            return None
+        stamp = self._heartbeat[index]
+        if not stamp:
+            return None
+        return max(time.time() - stamp, 0.0)
+
+    def _watchdog_reset_s(self):
+        """Stable uptime after which a shard's restart backoff resets."""
+        return max(10.0 * self.watchdog_interval_s, 5.0)
+
+    def _watchdog_tick(self):
+        """One health pass: restart dead (or hung) shards with backoff.
+
+        A shard that keeps dying gets exponentially spaced restart attempts
+        (``watchdog_backoff_s`` doubling up to ``watchdog_backoff_cap_s``) so
+        a crash loop cannot turn the watchdog into a fork bomb; surviving
+        long enough (:meth:`_watchdog_reset_s`) earns the backoff back.
+        """
+        for index in range(self.num_shards):
+            if self._closed or self._watchdog_stop.is_set():
+                return
+            shard = self._shards[index]
+            if shard.draining:
+                continue  # restart_shard owns this slot right now
+            now = time.monotonic()
+            if shard.is_alive():
+                age = self._heartbeat_age_s(index)
+                hung = (self.watchdog_hang_timeout_s is not None
+                        and age is not None and age > self.watchdog_hang_timeout_s)
+                if not hung:
+                    last = self._watchdog_last_restart[index]
+                    if last is not None and now - last > self._watchdog_reset_s():
+                        self._watchdog_backoff[index] = self.watchdog_backoff_s
+                    continue
+                # alive but silent past the hang timeout: treat as wedged
+                shard.process.kill()
+                shard.process.join(timeout=5.0)
+            if now < self._watchdog_next_allowed[index]:
+                continue
+            backoff = self._watchdog_backoff[index]
+            restarted = False
+            try:
+                with self._restart_lock:
+                    if self._closed:
+                        return
+                    current = self._shards[index]
+                    if current.process is not shard.process and current.is_alive():
+                        continue  # a manual restart already replaced it
+                    self._restart_shard_locked(index, graceful=False, timeout=30.0)
+                restarted = True
+            except Exception:  # noqa: BLE001 - spawn failure: back off, retry
+                pass
+            if restarted:
+                self._watchdog_restarts[index] += 1
+                self._watchdog_last_restart[index] = time.monotonic()
+            self._watchdog_next_allowed[index] = time.monotonic() + backoff
+            self._watchdog_backoff[index] = min(backoff * 2.0,
+                                                self.watchdog_backoff_cap_s)
+
+    def _watchdog_loop(self):
+        while not self._watchdog_stop.wait(self.watchdog_interval_s):
+            if self._closed:
+                return
+            try:
+                self._watchdog_tick()
+            except Exception:  # noqa: BLE001 - one bad tick must not kill it
+                continue
+
+    def watchdog_snapshot(self):
+        """Plain-dict watchdog state (part of the aggregate snapshot)."""
+        return {
+            "enabled": self.watchdog_interval_s is not None,
+            "interval_s": self.watchdog_interval_s,
+            "restarts_total": sum(self._watchdog_restarts),
+            "restarts_by_shard": {index: count for index, count
+                                  in enumerate(self._watchdog_restarts) if count},
+            "backoff_s": list(self._watchdog_backoff),
+            "heartbeat_age_s": [self._heartbeat_age_s(index)
+                                for index in range(self.num_shards)],
+        }
 
     # ------------------------------------------------------------------ #
     # telemetry
@@ -863,6 +1231,15 @@ class ShardedCompressionServer:
         merged["failed"] = merged.get("failed", 0) + local["failed"]
         merged["completed_cached"] = local["completed_cached"]
         merged["result_cache"] = self.result_cache.stats()
+        # the parent is the only observer of how responses crossed the
+        # process boundary (shards don't know whether their lease was used)
+        transports = dict(merged.get("response_transport", {}))
+        for transport, count in local["response_transport"].items():
+            transports[transport] = transports.get(transport, 0) + count
+        merged["response_transport"] = dict(sorted(transports.items()))
+        merged["shm"] = (self._shm_ring.stats() if self._shm_ring is not None
+                         else {"enabled": False})
+        merged["watchdog"] = self.watchdog_snapshot()
         with self._lock:
             merged["inflight"] = list(self._inflight)
         return merged

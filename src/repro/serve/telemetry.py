@@ -69,6 +69,7 @@ class ServerStats:
         self.completed_cached = 0
         self.result_cache_hits = 0
         self.result_cache_misses = 0
+        self.response_transport = Counter()
         self._cache_stats = {}
 
     # ------------------------------------------------------------------ #
@@ -118,6 +119,16 @@ class ServerStats:
             else:
                 self.result_cache_misses += 1
 
+    def record_response_transport(self, transport):
+        """One response delivered via ``transport`` (queue / shm / cache / inline).
+
+        The sharded server's parent records these: the shm-vs-queue split is
+        how an operator sees the zero-copy ring actually being used (or
+        silently falling back because responses outgrow its slots).
+        """
+        with self._lock:
+            self.response_transport[str(transport)] += 1
+
     def update_cache_stats(self, worker_name, stats_list):
         """Publish a worker's cache statistics (list of ``LRUCache.stats()``)."""
         with self._lock:
@@ -152,6 +163,7 @@ class ServerStats:
                 "batch_size_histogram": dict(sorted(self.batch_sizes.items())),
                 "queue_depth_peak": self.queue_depth_peak,
                 "completed_cached": self.completed_cached,
+                "response_transport": dict(sorted(self.response_transport.items())),
                 "result_cache": {
                     "hits": self.result_cache_hits,
                     "misses": self.result_cache_misses,
@@ -178,6 +190,7 @@ def aggregate_snapshots(snapshots, labels=None):
                 "rejected": 0, "batches": 0, "completed_cached": 0,
                 "service_seconds_total": 0.0, "queue_wait_seconds_total": 0.0,
                 "batch_size_histogram": {}, "queue_depth_peak": 0,
+                "response_transport": {},
                 "throughput_rps": 0.0, "mean_batch_size": 0.0,
                 "latency_p50_ms": 0.0, "latency_p99_ms": 0.0,
                 "latency_mean_ms": 0.0, "queue_wait_mean_ms": 0.0,
@@ -199,6 +212,11 @@ def aggregate_snapshots(snapshots, labels=None):
         for size, count in snap.get("batch_size_histogram", {}).items():
             histogram[int(size)] += int(count)
     merged["batch_size_histogram"] = dict(sorted(histogram.items()))
+    transports = Counter()
+    for snap in snapshots:
+        for transport, count in snap.get("response_transport", {}).items():
+            transports[str(transport)] += int(count)
+    merged["response_transport"] = dict(sorted(transports.items()))
     merged["mean_batch_size"] = (
         sum(size * count for size, count in histogram.items())
         / max(merged["batches"], 1))

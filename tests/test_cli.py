@@ -29,6 +29,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["roundtrip", "--codec", "webp"])
 
+    def test_serve_bench_shm_and_watchdog_flags(self):
+        args = build_parser().parse_args(["serve-bench", "--shards", "2"])
+        assert args.shm and not args.watchdog
+        assert args.watchdog_interval == pytest.approx(1.0)
+        args = build_parser().parse_args(
+            ["serve-bench", "--shards", "2", "--no-shm", "--watchdog",
+             "--watchdog-interval", "0.5"])
+        assert not args.shm and args.watchdog
+        assert args.watchdog_interval == pytest.approx(0.5)
+
+    def test_serve_bench_rejects_nonpositive_watchdog_interval(self):
+        # mirrors BatchPolicy's poll_interval_ms validation: a zero interval
+        # would spin the watchdog loop
+        assert main(["serve-bench", "--shards", "1", "--watchdog",
+                     "--watchdog-interval", "0"]) == 2
+
 
 class TestCommands:
     def test_no_command_prints_help_and_fails(self, capsys):

@@ -62,7 +62,7 @@ class TestDctAndTables:
             assert sum(bits) == len(values)
             lengths = build_huffman_lengths(spec)
             assert len(lengths) == len(values)
-            kraft = sum(2.0 ** -l for l in lengths.values())
+            kraft = sum(2.0 ** -length for length in lengths.values())
             assert kraft <= 1.0 + 1e-12
 
 

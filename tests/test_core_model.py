@@ -11,7 +11,6 @@ from repro.core import (
     reconstruct_image,
     reconstruction_loss,
 )
-from repro.core.patchify import patch_to_subpatches, subpatches_to_tokens
 from repro.datasets import CifarLikeDataset
 from repro.metrics import psnr
 from repro import nn

@@ -13,7 +13,6 @@ from repro.core import (
     patch_to_subpatches,
     patches_to_image,
     proposed_mask,
-    random_mask,
     squeeze_patch,
     squeezed_shape,
     subpatches_to_patch,

@@ -12,6 +12,7 @@ from repro.core import (
     load_package,
     pack_compressed,
     pack_package,
+    pixels_from_buffer,
     save_package,
     unpack_compressed,
     unpack_package,
@@ -133,6 +134,91 @@ class TestEaszPackageContainer:
         compressed = JpegCodec(quality=70).compress(kodak_small[0])
         with pytest.raises(ValueError):
             unpack_package(pack_compressed(compressed))
+
+
+class TestBinaryPartEdgeCases:
+    """Truncated / oversized binary parts and zero-byte payloads."""
+
+    def test_oversized_trailing_bytes_are_ignored(self, easz_package):
+        # a framed transport (length-prefixed socket read) can hand over a
+        # buffer with trailing junk; the declared lengths win
+        package, _ = easz_package
+        restored = unpack_package(pack_package(package) + b"\x00" * 64)
+        assert restored.mask_bytes == package.mask_bytes
+        assert restored.codec_payload.payload == package.codec_payload.payload
+
+    def test_truncated_mask_bytes_rejected(self, easz_package):
+        package, _ = easz_package
+        container = pack_package(package)
+        # cut into the mask region (the first binary part after the header)
+        header_length = int.from_bytes(container[5:9], "big")
+        cut = 9 + header_length + max(len(package.mask_bytes) // 2, 1)
+        with pytest.raises(ValueError, match="truncated"):
+            unpack_package(container[:cut])
+
+    def test_truncated_cimg_payload_rejected(self, kodak_small):
+        compressed = JpegCodec(quality=70).compress(kodak_small[0])
+        container = pack_compressed(compressed)
+        with pytest.raises(ValueError, match="truncated"):
+            unpack_compressed(container[:-10])
+
+    def test_zero_byte_payload_roundtrips(self, kodak_small):
+        import dataclasses
+        compressed = JpegCodec(quality=70).compress(kodak_small[0])
+        empty = dataclasses.replace(compressed, payload=b"")
+        restored = unpack_compressed(pack_compressed(empty))
+        assert restored.payload == b""
+        assert restored.original_shape == compressed.original_shape
+
+
+class TestPixelsFromBuffer:
+    """The zero-copy view path behind serving's raw pixel buffers."""
+
+    def test_aligned_bytes_give_zero_copy_readonly_view(self):
+        source = np.arange(24.0).reshape(2, 3, 4)
+        buffer = source.tobytes()
+        view = pixels_from_buffer(buffer, source.shape, source.dtype)
+        assert np.array_equal(view, source)
+        assert np.shares_memory(view, np.frombuffer(buffer, dtype=source.dtype))
+        assert not view.flags.writeable
+        with pytest.raises(ValueError):
+            view[0, 0, 0] = 1.0
+
+    def test_unaligned_buffer_falls_back_to_copy(self):
+        source = np.arange(6.0)
+        padded = bytearray(b"\x00" + source.tobytes())
+        unaligned = memoryview(padded)[1:]  # offset 1: misaligned for float64
+        pixels = pixels_from_buffer(unaligned, source.shape, source.dtype)
+        assert np.array_equal(pixels, source)
+        assert not np.shares_memory(pixels, np.frombuffer(unaligned, dtype=np.uint8))
+        pixels[0] = 42.0  # the copy owns its memory: writable
+
+    def test_copy_flag_forces_owning_array(self):
+        source = np.arange(6.0)
+        buffer = source.tobytes()
+        pixels = pixels_from_buffer(buffer, source.shape, source.dtype, copy=True)
+        assert pixels.flags.writeable
+        assert not np.shares_memory(pixels, np.frombuffer(buffer, dtype=np.uint8))
+        assert np.array_equal(pixels, source)
+
+    def test_oversized_buffer_trailing_bytes_ignored(self):
+        source = np.arange(6, dtype=np.float32)
+        pixels = pixels_from_buffer(source.tobytes() + b"\xff" * 100,
+                                    source.shape, source.dtype)
+        assert np.array_equal(pixels, source)
+
+    def test_short_buffer_rejected(self):
+        with pytest.raises(ValueError, match="bytes"):
+            pixels_from_buffer(b"\x00" * 7, (1,), np.float64)
+
+    def test_zero_byte_pixel_payload(self):
+        pixels = pixels_from_buffer(b"", (0, 3), np.float64)
+        assert pixels.shape == (0, 3)
+        assert pixels.size == 0
+
+    def test_negative_dimension_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            pixels_from_buffer(b"\x00" * 8, (-1,), np.float64)
 
 
 class TestFileHelpers:

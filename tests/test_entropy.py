@@ -114,7 +114,7 @@ class TestHuffman:
 
     def test_prefix_free_property(self):
         code = HuffmanCode({"a": 10, "b": 5, "c": 2, "d": 1, "e": 1})
-        codes = {s: f"{c:0{l}b}" for s, (c, l) in code.encode_table.items()}
+        codes = {s: f"{c:0{length}b}" for s, (c, length) in code.encode_table.items()}
         values = list(codes.values())
         for i, a in enumerate(values):
             for j, b in enumerate(values):
@@ -129,14 +129,14 @@ class TestHuffman:
         rng = np.random.default_rng(1)
         freqs = {i: int(rng.integers(1, 100)) for i in range(30)}
         code = HuffmanCode(freqs)
-        kraft = sum(2.0 ** -l for l in code.lengths.values())
+        kraft = sum(2.0 ** -length for length in code.lengths.values())
         assert kraft <= 1.0 + 1e-12
 
     def test_max_code_length_respected(self):
         freqs = {i: 2 ** i for i in range(20)}
         code = HuffmanCode(freqs, max_code_length=12)
         assert max(code.lengths.values()) <= 12
-        kraft = sum(2.0 ** -l for l in code.lengths.values())
+        kraft = sum(2.0 ** -length for length in code.lengths.values())
         assert kraft <= 1.0 + 1e-12
 
     def test_expected_length_bounded_by_entropy_plus_one(self):

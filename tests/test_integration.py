@@ -6,7 +6,6 @@ pipeline, the mask-strategy ablation and the efficiency story.
 """
 
 import numpy as np
-import pytest
 
 from repro.codecs import JpegCodec, MbtCodec
 from repro.core import (

@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
-from repro import nn
 from repro.nn.tensor import Tensor, as_tensor, is_grad_enabled, no_grad
 
 

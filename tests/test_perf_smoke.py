@@ -22,6 +22,12 @@ already verifies response equivalence when it records the numbers.  Hosts
 with a single visible CPU skip (sharding cannot help there; the bench writes
 a ``skipped`` marker on such hosts for the same reason).
 
+The shm guard does the same for the ``serving.shm`` bar: the zero-copy
+shared-memory response ring must deliver ≥1.15x images/sec over the queue
+path on the 2-shard 256² RGB decode workload (the transport-bound serving
+kind).  It skips on <2-CPU hosts and wherever the bench recorded a
+``skipped`` marker (no shared memory, single CPU).
+
 CPU time (``time.process_time``) is used instead of wall-clock so a loaded
 CI machine does not flake the guards.
 """
@@ -42,6 +48,7 @@ from repro.serve import available_cpus
 _BUDGET_CPU_SECONDS = 2.5
 _SERVING_BUDGET_CPU_SECONDS = 1.2
 _SHARDED_SPEEDUP_BAR = 1.3
+_SHM_SPEEDUP_BAR = 1.15
 _BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
 
 
@@ -110,4 +117,24 @@ def test_sharded_throughput_bar_recorded_in_bench_json():
         f"sharded serving recorded only {section['speedup_vs_threaded']:.2f}x over "
         f"the threaded server (bar {_SHARDED_SPEEDUP_BAR}x at "
         f"{section['num_shards']} shards); the shard pool has regressed"
+    )
+
+
+def test_shm_zero_copy_bar_recorded_in_bench_json():
+    if available_cpus() < 2:
+        pytest.skip("process sharding needs >= 2 visible CPUs")
+    report = json.loads(_BENCH_JSON.read_text())
+    section = report.get("serving", {}).get("shm") or {}
+    if "skipped" in section or "speedup_vs_queue" not in section:
+        pytest.skip("shm bench was not recorded on this host "
+                    "(re-run benchmarks/bench_throughput.py on a multi-core box)")
+    assert section["num_shards"] >= 2
+    assert section["max_abs_diff_vs_reference"] == 0.0
+    assert section["response_transport"].get("shm", 0) > 0, \
+        "the shm run silently served everything from the queue path"
+    assert section["speedup_vs_queue"] >= _SHM_SPEEDUP_BAR, (
+        f"the shared-memory response ring recorded only "
+        f"{section['speedup_vs_queue']:.2f}x over the queue path (bar "
+        f"{_SHM_SPEEDUP_BAR}x at {section['num_shards']} shards); the "
+        "zero-copy path has regressed or is falling back to the queue"
     )

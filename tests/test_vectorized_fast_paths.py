@@ -11,7 +11,6 @@ must match the per-channel formulation to float32 tolerance.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -43,7 +42,6 @@ from repro.core.patchify import (
     patch_to_subpatches,
     subpatches_to_patch,
     subpatches_to_tokens,
-    tokens_to_subpatches,
 )
 from repro.entropy.bitio import BitReader, BitWriter
 
