@@ -9,6 +9,17 @@ The seed and fast paths produce bit-identical JPEG payloads (same bpp) and
 reconstructions equal to float32 tolerance (same PSNR), so the speedup is a
 pure wall-clock comparison.
 
+The ``entropy`` section times the byte-oriented range coder against the
+legacy bit-at-a-time arithmetic coder on the bpg/neural-shaped symbol
+workload (bar: >=3x combined encode+decode, guarded by
+``tests/test_perf_smoke.py``).  The ``dct`` section times the fused
+squeeze-aware block gather + batched multi-image DCT entry point (one
+``(N·C·blocks, 64) @ (64, 64)`` GEMM, row-split over the opt-in thread
+pool) against the per-channel squeeze→pad→block→dct2 pipeline (bar:
+>=1.5x at batch >= 4, guarded; recorded only on >=2-CPU hosts — on one
+core both paths are memory-bound, so the section carries a ``skipped``
+marker there like the sharded/shm bars).
+
 The ``serving`` section measures the batched serving path: images/sec of
 ``reconstruct_batch`` (the fused multi-image engine) against sequential
 per-image ``reconstruct_image`` calls on 256² RGB, across batch sizes, plus
@@ -53,7 +64,8 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
-from repro.codecs.jpeg import JpegCodec  # noqa: E402
+from repro.codecs.jpeg import JpegCodec, dct2, dct2_batched  # noqa: E402
+from repro.entropy import encode_symbols, decode_symbols  # noqa: E402
 from repro.core import (  # noqa: E402
     EaszConfig,
     EaszDecoder,
@@ -64,6 +76,7 @@ from repro.core import (  # noqa: E402
     reconstruct_batch,
     reconstruct_image,
 )
+from repro.image import pad_to_multiple  # noqa: E402
 from repro.metrics import psnr  # noqa: E402
 
 import seed_reference as seed  # noqa: E402
@@ -100,10 +113,9 @@ def timeit(fn, repeats=3):
 
 def fast_pipeline(image, mask, config, codec, model):
     plan = get_squeeze_plan(mask, config.subpatch_size)
-    squeezed, grid_shape, original_shape = plan.squeeze_image(image)
-    compressed = codec.compress(squeezed)
+    compressed, grid_shape, _ = codec.compress_squeezed(image, plan)
     decoded = np.clip(np.asarray(codec.decompress(compressed)), 0.0, 1.0)
-    filled = plan.unsqueeze_image(decoded, grid_shape, original_shape)
+    filled = plan.unsqueeze_image(decoded, grid_shape, image.shape)
     return reconstruct_image(model, filled, mask), compressed
 
 
@@ -132,6 +144,141 @@ def stage_timings(image, mask, config, codec, model):
         "reconstruct_s": timeit(lambda: reconstruct_image(model, filled, mask)),
         "bpp": 8.0 * compressed.num_bytes / (image.shape[0] * image.shape[1]),
     }
+
+
+def entropy_section(num_symbols=256, count=120_000, repeats=3):
+    """Range coder vs the legacy arithmetic coder on the bpg/neural workload.
+
+    The symbol stream mirrors what the block codecs feed the coder: a
+    256-symbol magnitude alphabet with the exponential skew of quantised
+    DCT/latent coefficients, encoded under one fresh adaptive model (the
+    ``encode_symbols`` shape; the codecs drive the same backends through
+    their streaming/array APIs).  The bar — guarded by
+    ``test_perf_smoke.py`` — is >=3x combined encode+decode throughput.
+    """
+    rng = np.random.default_rng(0)
+    probabilities = np.exp(-0.08 * np.arange(num_symbols))
+    probabilities /= probabilities.sum()
+    symbols = rng.choice(num_symbols, size=count, p=probabilities).tolist()
+
+    payload_range = encode_symbols(symbols, num_symbols)
+    payload_legacy = encode_symbols(symbols, num_symbols, legacy=True)
+    assert decode_symbols(payload_range, count, num_symbols) == symbols
+    assert decode_symbols(payload_legacy, count, num_symbols) == symbols
+
+    range_enc_s = timeit(lambda: encode_symbols(symbols, num_symbols), repeats)
+    range_dec_s = timeit(lambda: decode_symbols(payload_range, count, num_symbols),
+                         repeats)
+    legacy_enc_s = timeit(lambda: encode_symbols(symbols, num_symbols, legacy=True),
+                          max(repeats - 1, 2))
+    legacy_dec_s = timeit(lambda: decode_symbols(payload_legacy, count, num_symbols),
+                          max(repeats - 1, 2))
+    range_s = range_enc_s + range_dec_s
+    legacy_s = legacy_enc_s + legacy_dec_s
+    section = {
+        "workload": f"{count}_skewed_symbols_alphabet{num_symbols}",
+        "range_encode_s": range_enc_s,
+        "range_decode_s": range_dec_s,
+        "legacy_encode_s": legacy_enc_s,
+        "legacy_decode_s": legacy_dec_s,
+        "range_symbols_per_s": 2 * count / range_s,
+        "legacy_symbols_per_s": 2 * count / legacy_s,
+        "speedup": legacy_s / range_s,
+        "payload_bytes_range": len(payload_range),
+        "payload_bytes_legacy": len(payload_legacy),
+    }
+    print(f"entropy: range {2 * count / range_s / 1e6:.2f} Msym/s vs legacy "
+          f"{2 * count / legacy_s / 1e6:.2f} Msym/s ({section['speedup']:.2f}x, "
+          f"bytes {len(payload_range)} vs {len(payload_legacy)})")
+    return section
+
+
+def dct_section(config, mask, size=512, batch=8, repeats=7):
+    """Parallel batched block-transform front end vs per-channel calls.
+
+    Measures the pixels→DCT-coefficients stage of the codec over a
+    micro-batch.  ``per_channel`` is the seed pattern, one channel at a
+    time: materialise the squeezed channel (``SqueezePlan.squeeze_image``),
+    edge-pad, extract 8×8 blocks, broadcast-matmul ``dct2``.  ``batched``
+    is the fused pipeline: every channel's DCT-ready blocks gathered
+    straight from the original pixels through the cached
+    ``BlockGatherPlan``, every channel of every image concatenated into one
+    ``(N·C·blocks, 8, 8)`` ``dct2_batched`` call — a single 64×64 GEMM,
+    row-split across the opt-in DCT thread pool (``set_dct_threads``).
+    Outputs are bit-identical.
+
+    The guarded >=1.5x bar comes from the thread-parallel GEMM, so — like
+    the sharded and shm serving bars — it is only recorded on hosts with
+    >= 2 visible CPUs; a single-CPU host records a ``skipped`` marker plus
+    the single-threaded numbers for information (on one core both paths
+    are bandwidth-bound and the ratio hovers around 1.0-2x with the host's
+    BLAS mode).
+    """
+    from repro.codecs.jpeg import _DCT_MT_MIN_BLOCKS, _image_to_blocks, set_dct_threads
+    from repro.serve import available_cpus
+
+    plan = get_squeeze_plan(mask, config.subpatch_size)
+    images = [synthetic_image(size, color=False, seed_value=400 + index)
+              for index in range(batch)]
+    block_plans = [plan.block_plan(image.shape[:2]) for image in images]
+    total_blocks = sum(bp.num_blocks for bp in block_plans)
+    assert total_blocks >= _DCT_MT_MIN_BLOCKS, (
+        "dct bench workload too small to engage the thread pool")
+
+    def per_channel():
+        out = []
+        for image in images:
+            squeezed, _, _ = plan.squeeze_image(image)
+            padded, _ = pad_to_multiple(squeezed, 8)
+            out.append(dct2(_image_to_blocks(padded * 255.0 - 128.0)))
+        return out
+
+    def batched():
+        blocks = [block_plan.gather_blocks(image) * 255.0 - 128.0
+                  for image, block_plan in zip(images, block_plans)]
+        return dct2_batched(np.concatenate(blocks))
+
+    reference = np.concatenate(per_channel())
+    fused = batched()
+    max_diff = float(np.abs(reference - fused).max())
+    assert max_diff < 1e-9, f"fused block transform diverged: {max_diff}"
+    per_channel_s = timeit(per_channel, repeats)
+    single_thread_s = timeit(batched, repeats)
+
+    section = {
+        "workload": f"batch{batch}_{size}x{size}_gray",
+        "total_blocks": int(fused.shape[0]),
+        "per_channel_s": per_channel_s,
+        "batched_single_thread_s": single_thread_s,
+        "single_thread_speedup": per_channel_s / single_thread_s,
+        "max_abs_diff": max_diff,
+    }
+    cpus = available_cpus()
+    if cpus < 2:
+        section["skipped"] = (f"host exposes {cpus} CPU; the parallel DCT "
+                              "bar needs >= 2 to thread the GEMM")
+        print(f"dct: batched single-thread {single_thread_s * 1e3:.2f}ms vs "
+              f"per-channel {per_channel_s * 1e3:.2f}ms "
+              f"({section['single_thread_speedup']:.2f}x); parallel bar skipped "
+              f"({cpus} CPU visible)")
+        return section
+
+    threads = min(cpus, 8)
+    previous = set_dct_threads(threads)
+    try:
+        threaded = batched()
+        assert np.array_equal(threaded, fused), "threaded GEMM changed results"
+        batched_s = timeit(batched, repeats)
+    finally:
+        set_dct_threads(previous)
+    section["dct_threads"] = threads
+    section["batched_s"] = batched_s
+    section["speedup"] = per_channel_s / batched_s
+    print(f"dct: fused+batched ({threads} threads) {fused.shape[0]} blocks in "
+          f"{batched_s * 1e3:.2f}ms vs per-channel {per_channel_s * 1e3:.2f}ms "
+          f"({section['speedup']:.2f}x; single-thread "
+          f"{section['single_thread_speedup']:.2f}x)")
+    return section
 
 
 def serving_section(config, model, codec, mask, batch_sizes=(1, 2, 4, 8),
@@ -338,8 +485,16 @@ def main():
         },
         "stages": {},
         "roundtrip_512_rgb": {},
+        "entropy": {},
+        "dct": {},
         "serving": {},
     }
+
+    # --- entropy: range coder vs legacy arithmetic coder ----------------- #
+    report["entropy"] = entropy_section()
+
+    # --- dct: batched multi-channel GEMM vs per-channel calls ------------ #
+    report["dct"] = dct_section(config, mask)
 
     for size in SIZES:
         for color in (False, True):

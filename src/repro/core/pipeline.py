@@ -104,16 +104,27 @@ class EaszEncoder:
         }
 
     def _encode_with_plan(self, image, plan, mask_bytes, summary):
-        """Squeeze + compress + package one image with precomputed mask state."""
+        """Squeeze + compress + package one image with precomputed mask state.
+
+        Codecs advertising ``supports_fused_squeeze`` (JPEG) compress through
+        the plan's block gather, so the squeezed image is never materialised;
+        everyone else gets the classic squeeze-then-compress pipeline.  The
+        two paths produce bit-identical payloads.
+        """
         image = to_float(image)
-        squeezed, grid_shape, original_shape = plan.squeeze_image(image)
-        compressed = self.base_codec.compress(squeezed)
+        if getattr(self.base_codec, "supports_fused_squeeze", False):
+            compressed, grid_shape, squeezed_shape = \
+                self.base_codec.compress_squeezed(image, plan)
+        else:
+            squeezed, grid_shape, _ = plan.squeeze_image(image)
+            compressed = self.base_codec.compress(squeezed)
+            squeezed_shape = squeezed.shape
         return EaszCompressed(
             codec_payload=compressed,
             mask_bytes=mask_bytes,
             grid_shape=grid_shape,
             original_shape=image.shape,
-            squeezed_shape=squeezed.shape,
+            squeezed_shape=squeezed_shape,
             config_summary=summary,
         )
 
@@ -171,6 +182,44 @@ class EaszDecoder:
         self.base_codec = base_codec
         self.fill = fill
 
+    def _resolve_plan(self, mask, plan):
+        if plan is not None:
+            return plan
+        cfg = self.config
+        return get_squeeze_plan(mask, cfg.subpatch_size).require_patch_size(cfg.patch_size)
+
+    def _fused_unsqueeze(self, compressed, codec, plan):
+        """Squeeze-fused decode when the codec supports it, else ``None``.
+
+        Grayscale ``fill="zero"`` packages decode straight into the
+        unsqueezed frame (one scatter, no squeezed-image materialisation);
+        anything else falls back to the generic decompress-then-unsqueeze
+        path.
+        """
+        if self.fill != "zero" or not hasattr(codec, "decompress_unsqueezed"):
+            return None
+        if len(compressed.original_shape) != 2:
+            return None
+        return codec.decompress_unsqueezed(
+            compressed.codec_payload, plan, tuple(compressed.original_shape[:2]))
+
+    def _finish_unsqueeze(self, compressed, squeezed, plan):
+        """Clamp + unsqueeze + crop one decoded squeezed image."""
+        cfg = self.config
+        # The codec may hand back a slightly different dtype/range; clamp.
+        squeezed = np.clip(np.asarray(squeezed), 0.0, 1.0)
+        original_spatial = compressed.original_shape[:2]
+        padded_original = (
+            original_spatial[0] + (-original_spatial[0]) % cfg.patch_size,
+            original_spatial[1] + (-original_spatial[1]) % cfg.patch_size,
+        )
+        filled = plan.unsqueeze_image(
+            squeezed, compressed.grid_shape,
+            padded_original + tuple(compressed.original_shape[2:]),
+            fill=self.fill,
+        )
+        return filled[: original_spatial[0], : original_spatial[1], ...]
+
     def _unsqueeze_package(self, compressed, mask, codec=None, plan=None):
         """Base-codec decode + unsqueeze one package (no reconstruction).
 
@@ -179,25 +228,70 @@ class EaszDecoder:
         cached instances so this single implementation is the only decode
         path.
         """
-        cfg = self.config
         codec = codec if codec is not None else self.base_codec
+        plan = self._resolve_plan(mask, plan)
+        filled = self._fused_unsqueeze(compressed, codec, plan)
+        if filled is not None:
+            return filled
         squeezed = codec.decompress(compressed.codec_payload)
-        squeezed = np.asarray(squeezed)
-        # The codec may hand back a slightly different dtype/range; clamp.
-        squeezed = np.clip(squeezed, 0.0, 1.0)
-        original_spatial = compressed.original_shape[:2]
-        padded_original = (
-            original_spatial[0] + (-original_spatial[0]) % cfg.patch_size,
-            original_spatial[1] + (-original_spatial[1]) % cfg.patch_size,
-        )
-        if plan is None:
-            plan = get_squeeze_plan(mask, cfg.subpatch_size).require_patch_size(cfg.patch_size)
-        filled = plan.unsqueeze_image(
-            squeezed, compressed.grid_shape,
-            padded_original + tuple(compressed.original_shape[2:]),
-            fill=self.fill,
-        )
-        return filled[: original_spatial[0], : original_spatial[1], ...]
+        return self._finish_unsqueeze(compressed, squeezed, plan)
+
+    def _unsqueeze_many(self, packages, masks, codec=None, plans=None,
+                        collect_errors=False):
+        """Decode + unsqueeze N packages with one fused IDCT across the batch.
+
+        The sequential entropy decode runs per package (with
+        ``collect_errors=True`` a corrupt payload yields its exception in
+        the result list and its batch-mates keep going — the serving
+        contract); the inverse DCT of every surviving payload runs as a
+        single batched call when the codec exposes ``decompress_many``.
+        ``plans`` optionally injects per-package cached squeeze plans
+        (aligned with ``packages``).
+        """
+        codec = codec if codec is not None else self.base_codec
+        packages = list(packages)
+        resolved = [self._resolve_plan(mask, plans[index] if plans else None)
+                    for index, mask in enumerate(masks)]
+        results = [None] * len(packages)
+        pending = []
+        for index, package in enumerate(packages):
+            try:
+                filled = self._fused_unsqueeze(package, codec, resolved[index])
+            except Exception as error:  # noqa: BLE001 - isolate per package
+                if not collect_errors:
+                    raise
+                results[index] = error
+                continue
+            if filled is not None:
+                results[index] = filled
+            else:
+                pending.append(index)
+        if pending:
+            if hasattr(codec, "decompress_many"):
+                decoded = codec.decompress_many(
+                    [packages[index].codec_payload for index in pending],
+                    on_error="collect" if collect_errors else "raise")
+            else:
+                decoded = []
+                for index in pending:
+                    try:
+                        decoded.append(codec.decompress(packages[index].codec_payload))
+                    except Exception as error:  # noqa: BLE001
+                        if not collect_errors:
+                            raise
+                        decoded.append(error)
+            for index, squeezed in zip(pending, decoded):
+                if isinstance(squeezed, Exception):
+                    results[index] = squeezed
+                    continue
+                try:
+                    results[index] = self._finish_unsqueeze(
+                        packages[index], squeezed, resolved[index])
+                except Exception as error:  # noqa: BLE001
+                    if not collect_errors:
+                        raise
+                    results[index] = error
+        return results
 
     def decode(self, compressed, reconstruct=True):
         """Recover the full image from an :class:`EaszCompressed` package."""
@@ -220,14 +314,13 @@ class EaszDecoder:
         predicted pixels to float32 tolerance).
         """
         packages = list(packages)
-        filled_images = []
+        masks = [deserialize_mask(package.mask_bytes) for package in packages]
+        filled_images = self._unsqueeze_many(packages, masks)
         groups = OrderedDict()
         for position, package in enumerate(packages):
-            mask = deserialize_mask(package.mask_bytes)
-            filled_images.append(self._unsqueeze_package(package, mask))
             group = groups.get(package.mask_bytes)
             if group is None:
-                groups[package.mask_bytes] = (mask, [position])
+                groups[package.mask_bytes] = (masks[position], [position])
             else:
                 group[1].append(position)
         if not reconstruct:

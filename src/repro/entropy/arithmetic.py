@@ -1,9 +1,21 @@
-"""Adaptive binary / multi-symbol arithmetic (range) coding.
+"""Adaptive multi-symbol entropy coding: legacy arithmetic + range backend.
 
 Used by the BPG-proxy codec (:mod:`repro.codecs.bpg`) and by the learned
-codec baselines for entropy-coding quantised latents.  The implementation is
-a classic 32-bit integer range coder with carry-less renormalisation
-(Witten–Neal–Cleary style), plus an adaptive frequency model.
+codec baselines for entropy-coding quantised latents.  Two coder backends
+share one adaptive frequency model:
+
+* the **legacy** coder (:class:`ArithmeticEncoder` / :class:`ArithmeticDecoder`)
+  is a classic 32-bit integer arithmetic coder with bit-at-a-time carry-less
+  renormalisation (Witten–Neal–Cleary style), kept for old payloads and as
+  the reference in equivalence tests;
+* the **range** coder (:class:`repro.entropy.range_coder.RangeEncoder` /
+  ``RangeDecoder``) renormalises a byte at a time and consumes whole symbol
+  arrays — the default backend, several times faster at identical
+  compression (see the ``entropy`` section of ``BENCH_throughput.json``).
+
+:func:`encode_symbols` / :func:`decode_symbols` wrap both behind a one-byte
+format tag so payloads are self-describing; pass ``legacy=True`` to force
+the old backend.
 """
 
 from __future__ import annotations
@@ -13,7 +25,14 @@ import numpy as np
 from .bitio import BitReader, BitWriter
 
 __all__ = ["AdaptiveModel", "ArithmeticEncoder", "ArithmeticDecoder",
-           "encode_symbols", "decode_symbols"]
+           "encode_symbols", "decode_symbols",
+           "FORMAT_LEGACY", "FORMAT_RANGE"]
+
+#: Payload format tags written by :func:`encode_symbols` (and the codec
+#: containers): 0 = legacy bit-at-a-time arithmetic coder, 1 = byte-oriented
+#: range coder.
+FORMAT_LEGACY = 0
+FORMAT_RANGE = 1
 
 _PRECISION = 32
 _MAX = (1 << _PRECISION) - 1
@@ -36,11 +55,13 @@ class AdaptiveModel:
             raise ValueError("num_symbols must be >= 1")
         self.num_symbols = num_symbols
         self.counts = np.ones(num_symbols, dtype=np.int64)
+        self.rebuilds = 0  # full cumulative-table rebuilds (regression guard)
         self._rebuild()
 
     def _rebuild(self):
         self.cumulative = np.concatenate(([0], np.cumsum(self.counts)))
         self.total = int(self.cumulative[-1])
+        self.rebuilds += 1
 
     def interval(self, symbol):
         """Return ``(low_count, high_count, total)`` for ``symbol``."""
@@ -51,10 +72,27 @@ class AdaptiveModel:
         return int(np.searchsorted(self.cumulative, scaled, side="right") - 1)
 
     def update(self, symbol):
-        """Increment the count of ``symbol`` (and rescale when saturated)."""
+        """Increment the count of ``symbol`` (and rescale when saturated).
+
+        The common case is a single in-place slice add on the cumulative
+        table — the full O(K) rebuild only runs on the rare saturation
+        rescale, which keeps long symbol streams cheap (see
+        ``tests/test_entropy.py::test_update_is_incremental``).
+        """
         self.counts[symbol] += 32
-        if self.counts.sum() > _MAX_TOTAL:
+        if self.total + 32 > _MAX_TOTAL:
             self.counts = np.maximum(1, self.counts // 2)
+            self._rebuild()
+        else:
+            self.cumulative[symbol + 1:] += 32
+            self.total += 32
+
+    def set_counts(self, counts):
+        """Replace the frequency counts wholesale (coder shadow write-back)."""
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.shape != (self.num_symbols,):
+            raise ValueError(f"expected {self.num_symbols} counts, got {counts.shape}")
+        self.counts = counts
         self._rebuild()
 
 
@@ -144,17 +182,41 @@ class ArithmeticDecoder:
         return symbol
 
 
-def encode_symbols(symbols, num_symbols):
-    """Encode an integer symbol sequence with a fresh adaptive model."""
-    encoder = ArithmeticEncoder()
+def encode_symbols(symbols, num_symbols, legacy=False):
+    """Encode an integer symbol sequence with a fresh adaptive model.
+
+    The payload starts with a one-byte format tag (:data:`FORMAT_RANGE` by
+    default, :data:`FORMAT_LEGACY` with ``legacy=True``) so
+    :func:`decode_symbols` picks the matching backend automatically.
+    """
     model = AdaptiveModel(num_symbols)
-    for symbol in symbols:
-        encoder.encode(model, int(symbol))
-    return encoder.finish()
+    if legacy:
+        encoder = ArithmeticEncoder()
+        for symbol in symbols:
+            encoder.encode(model, int(symbol))
+        return bytes([FORMAT_LEGACY]) + encoder.finish()
+    from .range_coder import RangeEncoder
+
+    encoder = RangeEncoder()
+    encoder.encode_array(model, symbols)
+    return bytes([FORMAT_RANGE]) + encoder.finish()
 
 
 def decode_symbols(payload, count, num_symbols):
     """Decode ``count`` symbols encoded with :func:`encode_symbols`."""
-    decoder = ArithmeticDecoder(payload)
+    payload = bytes(payload)
+    if not payload:
+        raise ValueError("empty entropy payload (missing format tag)")
+    tag, body = payload[0], payload[1:]
     model = AdaptiveModel(num_symbols)
-    return [decoder.decode(model) for _ in range(count)]
+    if tag == FORMAT_LEGACY:
+        decoder = ArithmeticDecoder(body)
+        return [decoder.decode(model) for _ in range(count)]
+    if tag == FORMAT_RANGE:
+        from .range_coder import RangeDecoder
+
+        decoder = RangeDecoder(body)
+        symbols = decoder.decode_array(model, count)
+        decoder.sync_models()
+        return symbols
+    raise ValueError(f"unknown entropy payload format tag {tag}")

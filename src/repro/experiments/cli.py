@@ -137,6 +137,9 @@ def build_parser():
                              help="micro-batcher wait budget per batch")
     serve_bench.add_argument("--queue-depth", type=int, default=64,
                              help="admission queue bound")
+    serve_bench.add_argument("--dct-threads", type=int, default=1,
+                             help="opt-in thread pool for >1MP batched DCT "
+                                  "calls (1 = single-threaded GEMM)")
     serve_bench.add_argument("--height", type=int, default=96)
     serve_bench.add_argument("--width", type=int, default=144)
     serve_bench.add_argument("--images", type=int, default=4,
@@ -429,6 +432,11 @@ def _command_serve_bench(args):
         print(f"warning: host exposes {available_cpus()} CPU; {args.shards} "
               "process shards will not run in parallel (numbers reflect "
               "transport overhead only)", file=sys.stderr)
+
+    if args.dct_threads != 1:
+        from ..codecs.jpeg import set_dct_threads
+
+        set_dct_threads(args.dct_threads)
 
     config = default_benchmark_config()
     model = pretrained_model(config, steps=args.train_steps)

@@ -93,7 +93,13 @@ With ``watchdog_interval_s`` set, a parent-side watchdog additionally
 auto-restarts crashed shards (exponential backoff, restart counts in
 ``stats.snapshot()["watchdog"]``); in-flight requests of the dead shard are
 re-routed to live shards by the collector's reaper, so callers see neither
-lost nor duplicated responses.
+lost nor duplicated responses.  Hang detection is on by default whenever
+the watchdog runs: a shard that is alive but has not stamped its heartbeat
+for ``watchdog_hang_timeout_s`` (``"auto"`` → 30 s; healthy shards stamp
+every ≤ 50 ms, so this is conservative) is killed and restarted like a
+crashed one.  Opt out with ``watchdog_hang_timeout_s=None`` if shard
+processes may legitimately freeze (e.g. under SIGSTOP-based debuggers or
+cgroup freezers) and you would rather wait them out.
 
 Quick start::
 

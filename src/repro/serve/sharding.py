@@ -81,6 +81,12 @@ __all__ = ["ShardedCompressionServer", "ShardHandle", "ShardFailedError",
 #: containers whose /dev/shm is capped at the Docker default of 64 MiB.
 _DEFAULT_SHM_SLOT_BYTES = 4 << 20
 
+# Default hang timeout when the watchdog runs (``watchdog_hang_timeout_s=
+# "auto"``): shards stamp their heartbeat every loop iteration (<= 50 ms
+# idle; batches never block the loop), so 30 s of silence from a live
+# process means wedged, not busy — conservative by ~3 orders of magnitude.
+_DEFAULT_HANG_TIMEOUT_S = 30.0
+
 
 def available_cpus():
     """CPUs this process may run on (affinity-aware; sharding helps only >=2).
@@ -341,6 +347,15 @@ class ShardedCompressionServer:
         ``watchdog_backoff_cap_s`` for a shard that keeps dying.  ``None``
         (default) disables auto-restart; crashes still fail fast through the
         collector's reaper exactly as before.
+    ``watchdog_hang_timeout_s``
+        Hang detection for the watchdog: a shard that is *alive but silent*
+        (no heartbeat stamp) for longer than this is killed and restarted
+        exactly like a crashed one.  The default ``"auto"`` resolves to
+        ``30.0`` seconds whenever the watchdog runs — a healthy shard stamps
+        its heartbeat every loop iteration (≤ 50 ms idle, and long model
+        batches never block the loop), so 30 s of silence means the process
+        is wedged, not busy.  Pass ``None`` to opt out (liveness-only
+        watchdog) or an explicit number of seconds to tune it.
     ``affinity``
         ``"key"`` routes on the full batch key (PR-3 behaviour), ``"mask"``
         on the mask digest alone, ``"auto"`` (default) starts on the full
@@ -355,13 +370,15 @@ class ShardedCompressionServer:
                  startup_timeout=120.0, spill_threshold=None, use_shm=True,
                  shm_slots=None, shm_slot_bytes=None, watchdog_interval_s=None,
                  watchdog_backoff_s=0.5, watchdog_backoff_cap_s=30.0,
-                 watchdog_hang_timeout_s=None, affinity="auto"):
+                 watchdog_hang_timeout_s="auto", affinity="auto"):
         if num_shards < 1:
             raise ValueError("num_shards must be at least 1")
         if admission_policy not in ("reject", "block"):
             raise ValueError("admission_policy must be 'reject' or 'block'")
         if watchdog_interval_s is not None and not watchdog_interval_s > 0:
             raise ValueError("watchdog_interval_s must be positive")
+        if watchdog_hang_timeout_s == "auto":
+            watchdog_hang_timeout_s = _DEFAULT_HANG_TIMEOUT_S
         if watchdog_hang_timeout_s is not None and not watchdog_hang_timeout_s > 0:
             raise ValueError("watchdog_hang_timeout_s must be positive")
         if not watchdog_backoff_s > 0:

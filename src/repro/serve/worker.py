@@ -81,19 +81,26 @@ class ServeWorker(threading.Thread):
     def _process_batch(self, batch):
         server = self._server
         started = time.perf_counter()
+        cfg = server.config
         mask = deserialize_mask(batch[0].package.mask_bytes)
-        # decode per request so one corrupt payload fails only its own
-        # future; healthy batch-mates keep going
+        plan = self._squeeze_plan(batch[0].package.mask_bytes, mask,
+                                  cfg.subpatch_size, cfg.patch_size)
+        codec = self._codec(batch[0].package.codec_payload.codec_name)
+        # the batched unsqueeze entropy-decodes per request (one corrupt
+        # payload fails only its own future; healthy batch-mates keep going)
+        # but runs a single fused IDCT across the whole micro-batch
+        decoded = server.decoder._unsqueeze_many(
+            [request.package for request in batch], [mask] * len(batch),
+            codec=codec, plans=[plan] * len(batch), collect_errors=True)
         survivors = []
         filled = []
-        for request in batch:
-            try:
-                filled.append(self._unsqueeze(request.package, mask))
-            except Exception as error:  # noqa: BLE001 - isolate the bad request
+        for request, result in zip(batch, decoded):
+            if isinstance(result, Exception):
                 server.stats.record_failure(1)
-                request.reject(error)
+                request.reject(result)
             else:
                 survivors.append(request)
+                filled.append(result)
         if not survivors:
             return
         if survivors[0].kind == "reconstruct":

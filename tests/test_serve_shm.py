@@ -3,6 +3,8 @@ watchdog and spill-aware mask affinity."""
 
 from __future__ import annotations
 
+import os
+import signal
 import time
 
 import numpy as np
@@ -303,6 +305,46 @@ class TestShardWatchdog:
         assert snapshot["watchdog"]["restarts_total"] >= 1
         assert snapshot["watchdog"]["restarts_by_shard"].get(0, 0) >= 1
         assert snapshot["shm"]["leased"] == 0
+
+    def test_hang_timeout_defaults_on_with_opt_out(self, serve_model, serve_config):
+        """``"auto"`` resolves to the conservative 30 s default; ``None``
+        opts out; explicit values pass through."""
+        server = ShardedCompressionServer(model=serve_model, config=serve_config)
+        assert server.watchdog_hang_timeout_s == 30.0
+        server = ShardedCompressionServer(model=serve_model, config=serve_config,
+                                          watchdog_hang_timeout_s=None)
+        assert server.watchdog_hang_timeout_s is None
+        server = ShardedCompressionServer(model=serve_model, config=serve_config,
+                                          watchdog_hang_timeout_s=5.0)
+        assert server.watchdog_hang_timeout_s == 5.0
+
+    @pytest.mark.skipif(not hasattr(signal, "SIGSTOP"),
+                        reason="needs SIGSTOP to freeze a shard")
+    def test_hung_but_alive_shard_is_restarted(self, serve_config, serve_model,
+                                               packages):
+        """A shard frozen with SIGSTOP stays alive but stops stamping its
+        heartbeat; the hang timeout must get it killed and replaced, and the
+        pool must serve again afterwards."""
+        with _sharded(serve_model, serve_config, watchdog_interval_s=0.1,
+                      watchdog_backoff_s=0.05, watchdog_hang_timeout_s=0.75,
+                      queue_depth=128) as server:
+            server.submit(packages[0]).result(timeout=300.0)
+            victim = server._shards[0]
+            old_pid = victim.process.pid
+            os.kill(old_pid, signal.SIGSTOP)  # alive, but silent
+            deadline = time.perf_counter() + 60.0
+            while time.perf_counter() < deadline:
+                current = server._shards[0]
+                if current.is_alive() and current.process.pid != old_pid:
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail("watchdog never replaced the hung shard")
+            response = server.submit(packages[0]).result(timeout=300.0)
+            snapshot = server.stats.snapshot()
+        assert response.image.shape == packages[0].original_shape
+        assert snapshot["watchdog"]["restarts_total"] >= 1
+        assert snapshot["watchdog"]["restarts_by_shard"].get(0, 0) >= 1
 
     def test_watchdog_reports_heartbeats_and_stays_quiet_on_a_healthy_pool(
             self, serve_config, serve_model, packages):
