@@ -42,7 +42,7 @@ def test_fig1_edge_latency_motivation(benchmark, testbed, balle_profiles, paper_
         title="Fig. 1 — transmission vs load vs edge-encode latency (Jetson TX2, 512x768)",
     ))
     # shape assertions: the gap the paper motivates with
-    for name, transmit, load, encode in rows:
+    for _name, transmit, _load, _encode in rows:
         assert 100 <= transmit <= 250, "transmission should sit near the paper's ~150 ms"
     mbt = next(row for row in rows if row[0].startswith("mbt"))
     cheng = next(row for row in rows if row[0].startswith("cheng"))

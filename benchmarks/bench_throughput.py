@@ -313,7 +313,8 @@ def serving_section(config, model, codec, mask, batch_sizes=(1, 2, 4, 8),
     section["sequential_images_per_s"] = 1.0 / per_image_s
     for batch_size in batch_sizes:
         group = filled[:batch_size]
-        batch_s = timeit(lambda: reconstruct_batch(model, group, mask), repeats)
+        batch_s = timeit(lambda group=group: reconstruct_batch(model, group, mask),
+                         repeats)
         sequential_s = per_image_s * batch_size
         section["batches"][batch_size] = {
             "batched_s": batch_s,

@@ -42,5 +42,10 @@ setup(
     python_requires=">=3.10",
     install_requires=["numpy>=1.24", "scipy>=1.10"],
     extras_require={"test": ["pytest>=7", "hypothesis>=6"]},
-    entry_points={"console_scripts": ["repro = repro.experiments.cli:main"]},
+    entry_points={
+        "console_scripts": [
+            "repro = repro.experiments.cli:main",
+            "repro-lint = repro.analysis.cli:main",
+        ]
+    },
 )

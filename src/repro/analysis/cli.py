@@ -1,0 +1,46 @@
+"""Command-line entry point: ``python -m repro.analysis`` / ``repro-lint``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .framework import all_rules, lint_paths
+
+__all__ = ["main"]
+
+
+def _list_rules(rules, out):
+    width = max(len(rule.name) for rule in rules)
+    for rule in sorted(rules, key=lambda r: r.rule_id):
+        out.write(f"{rule.rule_id}  {rule.name:<{width}}  {rule.summary}\n")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Repo-specific invariant + lock-discipline linter "
+                    "(rule catalogue: python -m repro.analysis --list-rules).")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    args = parser.parse_args(argv)
+
+    rules = all_rules()
+    if args.list_rules:
+        _list_rules(rules, sys.stdout)
+        return 0
+
+    violations = lint_paths(args.paths, rules)
+    for violation in violations:
+        print(violation.render())
+    if violations:
+        print(f"repro-lint: {len(violations)} violation(s) "
+              f"across {len({v.path for v in violations})} file(s)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,274 @@
+"""Lock-discipline rules for the serving stack.
+
+The convention: a shared mutable attribute is annotated where it is created::
+
+    self._inflight = [0] * n  # guarded-by: _lock
+
+and every later read or write of ``self._inflight`` must sit lexically inside
+``with self._lock:`` (or inside a ``with`` on a Condition constructed from
+that lock), or in a method that is exempt — ``__init__``, a ``*_locked``
+helper (callers hold the lock by contract), or a ``def`` line carrying a
+trailing ``# locked`` comment.
+
+This is a lexical approximation, not an escape analysis: a closure that reads
+a guarded attribute is checked against the ``with`` blocks that enclose its
+*definition*.  That approximation has matched how the serve layer is written
+since PR-3, and the annotation + checker make drift visible in review.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from .framework import Rule, register
+
+__all__ = ["GuardedAttributeRule", "NestedAcquisitionRule",
+           "LockOrderCycleRule", "UnknownLockRule", "ClassLockInfo",
+           "collect_class_info"]
+
+_GUARDED_BY = re.compile(r"#\s*guarded-by:\s*(?P<lock>[A-Za-z_][A-Za-z0-9_]*)")
+_LOCKED_MARK = re.compile(r"#\s*locked\b")
+
+#: Constructor tails recognised as lock factories when mapping a class's
+#: lock attributes (``self._lock = threading.Lock()`` and friends).
+_LOCK_FACTORIES = {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+
+
+def _self_attr(node):
+    """Return the attribute name for a ``self.<name>`` node, else ``None``."""
+    if (isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+def _call_tail(node):
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+class ClassLockInfo:
+    """Lock metadata for one class: guards, lock attrs, Condition aliases."""
+
+    def __init__(self, source, classdef):
+        self.source = source
+        self.classdef = classdef
+        self.guarded = {}      # attr name -> lock name from its annotation
+        self.guard_lines = {}  # attr name -> annotation line (for reporting)
+        self.locks = set()     # attrs assigned from a lock factory
+        self.aliases = {}      # Condition attr -> the lock it wraps
+        self._collect()
+
+    def _collect(self):
+        for node in ast.walk(self.classdef):
+            targets = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+                value = node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets = [node.target]
+                value = node.value
+            else:
+                continue
+            names = [name for name in map(_self_attr, targets) if name]
+            if not names:
+                continue
+            tail = _call_tail(value)
+            if tail in _LOCK_FACTORIES:
+                self.locks.update(names)
+                if tail == "Condition" and value.args:
+                    wrapped = _self_attr(value.args[0])
+                    if wrapped:
+                        for name in names:
+                            self.aliases[name] = wrapped
+            match = _GUARDED_BY.search(self.source.comment_on(node.lineno))
+            if match:
+                for name in names:
+                    self.guarded[name] = match.group("lock")
+                    self.guard_lines[name] = node.lineno
+
+    # ------------------------------------------------------------------ #
+    def resolve(self, lock_name):
+        """Condition attr -> underlying lock; plain locks map to themselves."""
+        return self.aliases.get(lock_name, lock_name)
+
+    def method_exempt(self, funcdef):
+        if funcdef.name == "__init__" or funcdef.name.endswith("_locked"):
+            return True
+        return bool(_LOCKED_MARK.search(self.source.comment_on(funcdef.lineno)))
+
+    def held_at(self, node):
+        """Locks (alias-resolved) held by ``with`` blocks enclosing ``node``."""
+        held = set()
+        for ancestor in self.source.ancestors(node):
+            if ancestor is self.classdef:
+                break
+            if isinstance(ancestor, (ast.With, ast.AsyncWith)):
+                for item in ancestor.items:
+                    name = _self_attr(item.context_expr)
+                    if name:
+                        held.add(self.resolve(name))
+        return held
+
+    def enclosing_method(self, node):
+        for ancestor in self.source.ancestors(node):
+            if ancestor is self.classdef:
+                return None
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                parent = self.source.parents.get(ancestor)
+                if parent is self.classdef:
+                    return ancestor
+        return None
+
+
+def collect_class_info(source):
+    """One :class:`ClassLockInfo` per class that declares guards or locks."""
+    infos = []
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.ClassDef):
+            info = ClassLockInfo(source, node)
+            if info.guarded or info.locks:
+                infos.append(info)
+    return infos
+
+
+@register
+class GuardedAttributeRule(Rule):
+    """RP101: guarded attributes are touched only under their lock.
+
+    Every read or write of a ``# guarded-by: L`` attribute must be lexically
+    inside ``with self.L`` (or a Condition built on ``L``), unless the method
+    is ``__init__``, named ``*_locked``, or marked ``# locked``.
+    """
+
+    def __init__(self):
+        super().__init__(rule_id="RP101", name="guarded-attr-outside-lock",
+                        summary="reads/writes of '# guarded-by:' attributes must "
+                                "hold the named lock")
+
+    def check(self, source):
+        violations = []
+        for info in collect_class_info(source):
+            if not info.guarded:
+                continue
+            for node in ast.walk(info.classdef):
+                attr = _self_attr(node)
+                if attr is None or attr not in info.guarded:
+                    continue
+                method = info.enclosing_method(node)
+                if method is None or info.method_exempt(method):
+                    continue
+                lock = info.resolve(info.guarded[attr])
+                if lock not in info.held_at(node):
+                    violations.append(self.violation(
+                        source, node,
+                        f"self.{attr} is guarded-by {info.guarded[attr]} "
+                        f"(declared line {info.guard_lines[attr]}) but accessed "
+                        f"outside 'with self.{info.guarded[attr]}' in "
+                        f"{info.classdef.name}.{method.name}"))
+        return violations
+
+
+@register
+class NestedAcquisitionRule(Rule):
+    """RP102: no re-acquisition of a held non-reentrant lock.
+
+    ``with self.L`` lexically inside another ``with self.L`` (directly or via
+    a Condition wrapping ``L``) deadlocks a plain ``threading.Lock`` the
+    moment the inner block runs.
+    """
+
+    def __init__(self):
+        super().__init__(rule_id="RP102", name="nested-lock-reacquisition",
+                        summary="'with self.L' inside another 'with self.L' "
+                                "deadlocks a non-reentrant lock")
+
+    def check(self, source):
+        violations = []
+        for info in collect_class_info(source):
+            for node in ast.walk(info.classdef):
+                if not isinstance(node, (ast.With, ast.AsyncWith)):
+                    continue
+                for item in node.items:
+                    name = _self_attr(item.context_expr)
+                    if name and info.resolve(name) in info.held_at(node):
+                        violations.append(self.violation(
+                            source, node,
+                            f"'with self.{name}' re-acquires "
+                            f"{info.resolve(name)} already held by an "
+                            f"enclosing with in {info.classdef.name}"))
+        return violations
+
+
+@register
+class LockOrderCycleRule(Rule):
+    """RP103: lock-acquisition order within a class must be acyclic.
+
+    Lexical nesting ``with self.A: ... with self.B`` defines the edge A→B;
+    if the same class also nests B→A, two threads taking the two paths can
+    deadlock.  The runtime recorder (:mod:`repro.analysis.lockorder`) covers
+    cross-class and cross-module orders this lexical view cannot see.
+    """
+
+    def __init__(self):
+        super().__init__(rule_id="RP103", name="lock-order-cycle",
+                        summary="conflicting lexical lock-nesting orders within "
+                                "one class")
+
+    def check(self, source):
+        violations = []
+        for info in collect_class_info(source):
+            edges = {}
+            for node in ast.walk(info.classdef):
+                if not isinstance(node, (ast.With, ast.AsyncWith)):
+                    continue
+                for item in node.items:
+                    name = _self_attr(item.context_expr)
+                    if not name:
+                        continue
+                    inner = info.resolve(name)
+                    for outer in info.held_at(node):
+                        if outer != inner:
+                            edges.setdefault((outer, inner), node.lineno)
+            for (outer, inner), line in sorted(edges.items()):
+                if (inner, outer) in edges and outer < inner:
+                    violations.append(self.violation(
+                        source, line,
+                        f"{info.classdef.name} nests {outer}->{inner} (line "
+                        f"{line}) and {inner}->{outer} (line "
+                        f"{edges[(inner, outer)]}); pick one order"))
+        return violations
+
+
+@register
+class UnknownLockRule(Rule):
+    """RP104: a ``guarded-by`` annotation must name a real lock attribute.
+
+    The named lock must be assigned from a lock factory somewhere in the
+    class (``self._lock = threading.Lock()`` / ``RLock`` / ``Condition``),
+    otherwise the annotation guards nothing and RP101 checks the wrong name.
+    """
+
+    def __init__(self):
+        super().__init__(rule_id="RP104", name="guarded-by-unknown-lock",
+                        summary="'# guarded-by:' must name a lock attribute "
+                                "assigned in the class")
+
+    def check(self, source):
+        violations = []
+        for info in collect_class_info(source):
+            for attr, lock in sorted(info.guarded.items()):
+                if lock not in info.locks:
+                    violations.append(self.violation(
+                        source, info.guard_lines[attr],
+                        f"self.{attr} declares guarded-by {lock}, but "
+                        f"{info.classdef.name} never assigns self.{lock} "
+                        "from a lock factory"))
+        return violations

@@ -206,7 +206,7 @@ def _decode_lut(codes):
         hi = (code + 1) << (16 - length)
         symbols[lo:hi] = symbol
         lengths[lo:hi] = length
-    return symbols.tolist(), lengths.tolist()
+    return symbols.tolist(), lengths.tolist()  # lint: allow RP004 - one-time LUT build; scan loop consumes python lists
 
 
 def _ac_decode_lut(codes):
@@ -224,7 +224,7 @@ def _ac_decode_lut(codes):
     size = sym & 15
     run = sym >> 4
     step = np.where(length > 0, length + size, 0)
-    return (symbols, lengths, size.tolist(), run.tolist(), step.tolist())
+    return (symbols, lengths, size.tolist(), run.tolist(), step.tolist())  # lint: allow RP004 - one-time LUT build
 
 
 _DC_LUMA_CODES = _build_code_table(STANDARD_DC_LUMINANCE)

@@ -61,7 +61,7 @@ def validate_balanced_mask(mask):
     if not np.all(kept_per_row == kept_per_row[0]):
         raise ValueError(
             "squeeze requires a row-balanced mask (same number of erased sub-patches "
-            f"per row); got per-row kept counts {kept_per_row.tolist()}"
+            f"per row); got per-row kept counts {kept_per_row.tolist()}"  # lint: allow RP004 - error-message formatting
         )
     return int(kept_per_row[0])
 

@@ -73,7 +73,7 @@ class EaszReconstructor(nn.Module):
         key = flat_mask.tobytes()
         plan = self._mask_plan_cache.get(key)
         if plan is None:
-            kept_indices = np.flatnonzero(flat_mask)
+            kept_indices = np.flatnonzero(flat_mask)  # lint: allow RP001 - plan builder, cached per mask bytes
             scatter = np.zeros((flat_mask.size, kept_indices.size))
             scatter[kept_indices, np.arange(kept_indices.size)] = 1.0
             plan = (kept_indices, nn.Tensor(scatter))
@@ -278,7 +278,7 @@ class EaszReconstructor(nn.Module):
                 predicted = np.array(self.forward(tokens, mask).data)
         if keep_original:
             flat_mask = np.asarray(mask, dtype=bool).reshape(-1)
-            predicted[:, flat_mask, :] = tokens[:, flat_mask, :]
+            predicted[:, flat_mask, :] = tokens[:, flat_mask, :]  # lint: allow RP001 - one overwrite in the reference path
         return predicted
 
     # ------------------------------------------------------------------ #
@@ -355,8 +355,8 @@ class PixelIndexPlan:
              + grid_row[None, :, None] * subpatch_size + sub_row[None, None, :])
         x = (patch_col[:, None, None] * patch_size
              + grid_col[None, :, None] * subpatch_size + sub_col[None, None, :])
-        self.kept_indices = np.flatnonzero(flat_mask)
-        self.erased_indices = np.flatnonzero(~flat_mask)
+        self.kept_indices = np.flatnonzero(flat_mask)  # lint: allow RP001 - plan builder
+        self.erased_indices = np.flatnonzero(~flat_mask)  # lint: allow RP001 - plan builder
         self.all_indices = np.arange(flat_mask.size)
         self.kept_y, self.kept_x = y[:, self.kept_indices], x[:, self.kept_indices]
         self.erased_y, self.erased_x = y[:, self.erased_indices], x[:, self.erased_indices]

@@ -187,7 +187,7 @@ class BitReader:
         """
         if self._words is None:
             words = self.as_word_array()
-            self._words = words.tolist() if len(self._data) <= (2 << 20) else words
+            self._words = words.tolist() if len(self._data) <= (2 << 20) else words  # lint: allow RP004 - python ints beat numpy scalars in the bit loop
         return self._words, self._total
 
     def as_word_array(self):

@@ -133,7 +133,7 @@ class RangeEncoder:
         append = out.append
         extend = out.extend
         if isinstance(symbols, np.ndarray):
-            symbols = symbols.tolist()
+            symbols = symbols.tolist()  # lint: allow RP004 - scalar Fenwick loop wants python ints, not numpy scalars
         for s in symbols:
             s = int(s)
             # Fenwick prefix sum: cumulative count of symbols < s

@@ -45,7 +45,7 @@ _MODE_PACKED = 1
 
 def _encode_mask_rle(flat):
     """Varint run-length body for a flat 0/1 sequence."""
-    runs = run_length_encode(flat.tolist())
+    runs = run_length_encode(flat.tolist())  # lint: allow RP004 - run_length_encode consumes a python sequence
     body = bytearray()
     body.append(int(runs[0][0]) if runs else 0)
     for _, count in runs:

@@ -66,8 +66,7 @@ class Module:
     # -- parameter access --------------------------------------------- #
     def parameters(self):
         """Yield every :class:`Parameter` in this module and its children."""
-        for param in self._parameters.values():
-            yield param
+        yield from self._parameters.values()
         for module in self._modules.values():
             yield from module.parameters()
 

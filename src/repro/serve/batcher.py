@@ -71,8 +71,8 @@ class MicroBatcher:
         # write is locked (it is far off the hot path: a few float ops per
         # request)
         self._ewma_lock = threading.Lock()
-        self._ewma_gap_s = None
-        self._last_arrival_s = None
+        self._ewma_gap_s = None  # guarded-by: _ewma_lock
+        self._last_arrival_s = None  # guarded-by: _ewma_lock
 
     # ------------------------------------------------------------------ #
     # adaptive wait

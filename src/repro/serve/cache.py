@@ -101,11 +101,11 @@ class ResultCache:
             raise ValueError("capacity must be non-negative")
         self.capacity = int(capacity)
         self.name = name
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self._entries = OrderedDict()
         self._lock = threading.Lock()
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
+        self.evictions = 0  # guarded-by: _lock
+        self._entries = OrderedDict()  # guarded-by: _lock
 
     @staticmethod
     def digest(package, kind):
@@ -167,24 +167,32 @@ class ResultCache:
                 self._entries.popitem(last=False)
                 self.evictions += 1
 
-    @property
-    def hit_rate(self):
+    def _hit_rate_locked(self):
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
-    def stats(self):
-        """Plain-dict snapshot for :class:`repro.serve.telemetry.ServerStats`."""
+    @property
+    def hit_rate(self):
         with self._lock:
-            size = len(self._entries)
-        return {
-            "name": self.name,
-            "size": size,
-            "capacity": self.capacity,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "hit_rate": self.hit_rate,
-        }
+            return self._hit_rate_locked()
+
+    def stats(self):
+        """Plain-dict snapshot for :class:`repro.serve.telemetry.ServerStats`.
+
+        One lock span covers every counter so the snapshot is internally
+        consistent (a concurrent lookup cannot land between the ``hits`` read
+        and the ``hit_rate`` computation).
+        """
+        with self._lock:
+            return {
+                "name": self.name,
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": self._hit_rate_locked(),
+            }
 
     def clear(self):
         with self._lock:

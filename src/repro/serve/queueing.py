@@ -51,11 +51,11 @@ class AdmissionQueue:
         self.max_depth = int(max_depth)
         self.policy = policy
         self.put_timeout = float(put_timeout)
-        self._items = deque()
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
         self._not_full = threading.Condition(self._lock)
-        self._closed = False
+        self._items = deque()  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
 
     # ------------------------------------------------------------------ #
     @property

@@ -82,8 +82,8 @@ class PendingResult:
         self._event = threading.Event()
         self._response = None
         self._error = None
-        self._callbacks = []
         self._cb_lock = threading.Lock()
+        self._callbacks = []  # guarded-by: _cb_lock
 
     def done(self):
         """True once a worker resolved (or rejected) the request."""
@@ -239,7 +239,7 @@ class CompressionServer:
         self._codec_lock = threading.Lock()
         # bounded: codec names arrive on the wire, so an adversarial fleet
         # must not be able to grow this without limit
-        self._codec_prototypes = OrderedDict({self.base_codec.name: self.base_codec})
+        self._codec_prototypes = OrderedDict({self.base_codec.name: self.base_codec})  # guarded-by: _codec_lock
         self._codec_prototypes_max = 32
 
     # ------------------------------------------------------------------ #

@@ -436,9 +436,9 @@ class ShardedCompressionServer:
         self._not_full = threading.Condition(self._lock)
         self._control_lock = threading.Lock()  # Connections are not thread-safe
         self._restart_lock = threading.Lock()  # one restart_shard at a time
-        self._pending = {}  # request_id -> _PendingEntry
-        self._retired_snapshots = []  # (index, snapshot) of replaced/drained shards
-        self._inflight = []     # per-shard in-flight counts
+        self._pending = {}  # guarded-by: _lock — request_id -> _PendingEntry
+        self._retired_snapshots = []  # guarded-by: _lock — (index, snapshot) of replaced/drained shards
+        self._inflight = []  # guarded-by: _lock — per-shard in-flight counts
         self._ids = itertools.count()
         self._started = False
         self._closed = False
@@ -447,11 +447,11 @@ class ShardedCompressionServer:
         self._heartbeat = None
         self._watchdog = None
         self._watchdog_stop = threading.Event()
-        self._watchdog_restarts = [0] * self.num_shards
-        self._watchdog_backoff = [self.watchdog_backoff_s] * self.num_shards
-        self._watchdog_next_allowed = [0.0] * self.num_shards
-        self._watchdog_last_restart = [None] * self.num_shards
-        self._mask_geometries = {}  # mask bytes -> set of observed geometries
+        self._watchdog_restarts = [0] * self.num_shards  # guarded-by: _lock
+        self._watchdog_backoff = [self.watchdog_backoff_s] * self.num_shards  # guarded-by: _lock
+        self._watchdog_next_allowed = [0.0] * self.num_shards  # guarded-by: _lock
+        self._watchdog_last_restart = [None] * self.num_shards  # guarded-by: _lock
+        self._mask_geometries = {}  # guarded-by: _lock — mask bytes -> set of observed geometries
         self._mask_geometries_max = 1024
 
     # ------------------------------------------------------------------ #
@@ -529,8 +529,11 @@ class ShardedCompressionServer:
         self._create_ring()
         self._heartbeat = self._context.RawArray("d", self.num_shards)
         self._shards = []
-        self._inflight = [0] * self.num_shards
         with self._lock:
+            # every piece of lock-guarded routing state resets inside one
+            # span: a submitter blocked since before a stop()/start() cycle
+            # must never observe the old pool's counters
+            self._inflight = [0] * self.num_shards
             self._closed = False
             self._retired_snapshots = []
             self._mask_geometries = {}
@@ -549,10 +552,11 @@ class ShardedCompressionServer:
         self._collector = threading.Thread(target=self._collect_loop,
                                            name="shard-collector", daemon=True)
         self._collector.start()
-        self._watchdog_restarts = [0] * self.num_shards
-        self._watchdog_backoff = [self.watchdog_backoff_s] * self.num_shards
-        self._watchdog_next_allowed = [0.0] * self.num_shards
-        self._watchdog_last_restart = [None] * self.num_shards
+        with self._lock:
+            self._watchdog_restarts = [0] * self.num_shards
+            self._watchdog_backoff = [self.watchdog_backoff_s] * self.num_shards
+            self._watchdog_next_allowed = [0.0] * self.num_shards
+            self._watchdog_last_restart = [None] * self.num_shards
         if self.watchdog_interval_s is not None:
             self._watchdog_stop.clear()
             self._watchdog = threading.Thread(target=self._watchdog_loop,
@@ -603,11 +607,12 @@ class ShardedCompressionServer:
                     if not shard.is_alive() and not shard.stopped_snapshot:
                         crashed.append(entry)
                         del self._pending[request_id]
+                drained = not self._pending
             for entry in crashed:
                 self.local_stats.record_failure(1)
                 entry.pending._reject(ShardFailedError(
                     f"shard {entry.shard} died before the request completed"))
-            if not self._pending:
+            if drained:
                 break
             time.sleep(0.01)
         with self._lock:
@@ -780,6 +785,7 @@ class ShardedCompressionServer:
         with self._lock:
             self._pending[pending.request_id] = _PendingEntry(
                 pending, shard_index, cache_key, time.perf_counter(), kind, blob)
+            queue_depth = sum(self._inflight)
         try:
             self._shards[shard_index].request_queue.put(
                 ("req", pending.request_id, kind, blob))
@@ -791,7 +797,7 @@ class ShardedCompressionServer:
             self.local_stats.record_rejected()
             raise
         self.local_stats.record_submitted()
-        self.local_stats.record_queue_depth(sum(self._inflight))
+        self.local_stats.record_queue_depth(queue_depth)
         if not self._shards[shard_index].is_alive():
             # the shard died inside our unlocked pack/put window, possibly
             # after the reaper's one-shot sweep retired it — recover the
@@ -1128,17 +1134,23 @@ class ShardedCompressionServer:
                 hung = (self.watchdog_hang_timeout_s is not None
                         and age is not None and age > self.watchdog_hang_timeout_s)
                 if not hung:
-                    last = self._watchdog_last_restart[index]
-                    if last is not None and now - last > self._watchdog_reset_s():
-                        self._watchdog_backoff[index] = self.watchdog_backoff_s
+                    with self._lock:
+                        last = self._watchdog_last_restart[index]
+                        if last is not None and now - last > self._watchdog_reset_s():
+                            self._watchdog_backoff[index] = self.watchdog_backoff_s
                     continue
                 # alive but silent past the hang timeout: treat as wedged
                 shard.process.kill()
                 shard.process.join(timeout=5.0)
-            if now < self._watchdog_next_allowed[index]:
+            with self._lock:
+                throttled = now < self._watchdog_next_allowed[index]
+                backoff = self._watchdog_backoff[index]
+            if throttled:
                 continue
-            backoff = self._watchdog_backoff[index]
             restarted = False
+            # _restart_lock before _lock is the pool's one sanctioned lock
+            # order (_restart_shard_locked takes _lock internally); the
+            # backoff reads above released _lock first, never the reverse
             try:
                 with self._restart_lock:
                     if self._closed:
@@ -1150,12 +1162,13 @@ class ShardedCompressionServer:
                 restarted = True
             except Exception:  # noqa: BLE001 - spawn failure: back off, retry
                 pass
-            if restarted:
-                self._watchdog_restarts[index] += 1
-                self._watchdog_last_restart[index] = time.monotonic()
-            self._watchdog_next_allowed[index] = time.monotonic() + backoff
-            self._watchdog_backoff[index] = min(backoff * 2.0,
-                                                self.watchdog_backoff_cap_s)
+            with self._lock:
+                if restarted:
+                    self._watchdog_restarts[index] += 1
+                    self._watchdog_last_restart[index] = time.monotonic()
+                self._watchdog_next_allowed[index] = time.monotonic() + backoff
+                self._watchdog_backoff[index] = min(backoff * 2.0,
+                                                    self.watchdog_backoff_cap_s)
 
     def _watchdog_loop(self):
         while not self._watchdog_stop.wait(self.watchdog_interval_s):
@@ -1168,13 +1181,16 @@ class ShardedCompressionServer:
 
     def watchdog_snapshot(self):
         """Plain-dict watchdog state (part of the aggregate snapshot)."""
+        with self._lock:
+            restarts = list(self._watchdog_restarts)
+            backoff = list(self._watchdog_backoff)
         return {
             "enabled": self.watchdog_interval_s is not None,
             "interval_s": self.watchdog_interval_s,
-            "restarts_total": sum(self._watchdog_restarts),
+            "restarts_total": sum(restarts),
             "restarts_by_shard": {index: count for index, count
-                                  in enumerate(self._watchdog_restarts) if count},
-            "backoff_s": list(self._watchdog_backoff),
+                                  in enumerate(restarts) if count},
+            "backoff_s": backoff,
             "heartbeat_age_s": [self._heartbeat_age_s(index)
                                 for index in range(self.num_shards)],
         }

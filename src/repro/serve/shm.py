@@ -106,9 +106,9 @@ class ShmRing:
         self._segment = _shared_memory.SharedMemory(
             create=True, size=self.slot_bytes * self.num_slots)
         self.name = self._segment.name
-        self._owner = context.RawArray("q", self.num_slots)  # 0 free, else owner+1
-        self._seq = context.RawArray("Q", self.num_slots)
         self._claim_lock = context.Lock()
+        self._owner = context.RawArray("q", self.num_slots)  # guarded-by: _claim_lock — 0 free, else owner+1
+        self._seq = context.RawArray("Q", self.num_slots)  # guarded-by: _claim_lock
         self._created = True
 
     # ------------------------------------------------------------------ #
@@ -121,7 +121,7 @@ class ShmRing:
         shareable only through multiprocessing inheritance).
         """
         return (self.name, self.slot_bytes, self.num_slots,
-                self._owner, self._seq, self._claim_lock)
+                self._owner, self._seq, self._claim_lock)  # lint: allow RP101 - hands the shared arrays to the child; no element access
 
     @classmethod
     def attach(cls, descriptor):

@@ -54,23 +54,23 @@ class ServerStats:
     def __init__(self, latency_window=4096):
         self._lock = threading.Lock()
         self._started = time.perf_counter()
-        self.submitted = 0
-        self.rejected = 0
-        self.completed = 0
-        self.failed = 0
-        self.batches = 0
-        self.batch_sizes = Counter()
-        self.service_seconds_total = 0.0
-        self.queue_wait_seconds_total = 0.0
-        self.queue_depth_peak = 0
-        self.latency = LatencyWindow(latency_window)
-        self.queue_wait = LatencyWindow(latency_window)
-        self.service_time = LatencyWindow(latency_window)
-        self.completed_cached = 0
-        self.result_cache_hits = 0
-        self.result_cache_misses = 0
-        self.response_transport = Counter()
-        self._cache_stats = {}
+        self.submitted = 0  # guarded-by: _lock
+        self.rejected = 0  # guarded-by: _lock
+        self.completed = 0  # guarded-by: _lock
+        self.failed = 0  # guarded-by: _lock
+        self.batches = 0  # guarded-by: _lock
+        self.batch_sizes = Counter()  # guarded-by: _lock
+        self.service_seconds_total = 0.0  # guarded-by: _lock
+        self.queue_wait_seconds_total = 0.0  # guarded-by: _lock
+        self.queue_depth_peak = 0  # guarded-by: _lock
+        self.latency = LatencyWindow(latency_window)  # guarded-by: _lock
+        self.queue_wait = LatencyWindow(latency_window)  # guarded-by: _lock
+        self.service_time = LatencyWindow(latency_window)  # guarded-by: _lock
+        self.completed_cached = 0  # guarded-by: _lock
+        self.result_cache_hits = 0  # guarded-by: _lock
+        self.result_cache_misses = 0  # guarded-by: _lock
+        self.response_transport = Counter()  # guarded-by: _lock
+        self._cache_stats = {}  # guarded-by: _lock
 
     # ------------------------------------------------------------------ #
     def record_submitted(self):

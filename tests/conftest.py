@@ -7,11 +7,33 @@ realistic scales live.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
+from repro.analysis.lockorder import lock_order_recording
 from repro.core import EaszConfig, EaszReconstructor, EaszTrainer
 from repro.datasets import CifarLikeDataset, KodakDataset, SyntheticImageGenerator
+
+
+@pytest.fixture(autouse=True)
+def lock_order_guard(request):
+    """Record lock-acquisition order in every serving test.
+
+    Locks created while a ``test_serve*`` test runs are instrumented; at
+    teardown any ordering cycle or same-instance re-acquisition fails the
+    test.  Set ``REPRO_LOCK_ORDER=0`` to opt out (e.g. when bisecting an
+    unrelated failure).
+    """
+    if (not request.module.__name__.startswith("test_serve")
+            or os.environ.get("REPRO_LOCK_ORDER", "1") == "0"):
+        yield
+        return
+    with lock_order_recording() as recorder:
+        yield
+    problems = recorder.report()
+    assert not problems, "lock-order violations:\n" + "\n".join(problems)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,360 @@
+"""Unit tests for the lock-discipline rule family (RP101-RP104)."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.framework import SourceFile, lint_file
+from repro.analysis.locks import (GuardedAttributeRule, LockOrderCycleRule,
+                                  NestedAcquisitionRule, UnknownLockRule,
+                                  collect_class_info)
+
+
+def lint_snippet(tmp_path, code, rules):
+    path = tmp_path / "repro" / "serve" / "fixture.py"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(code))
+    return lint_file(SourceFile(path), rules=rules)
+
+
+def rule_ids(violations):
+    return [violation.rule_id for violation in violations]
+
+
+# --------------------------------------------------------------------------- #
+# RP101 — guarded attribute outside its lock
+# --------------------------------------------------------------------------- #
+class TestGuardedAttribute:
+    RULES = [GuardedAttributeRule()]
+
+    def test_unlocked_write_flagged(self, tmp_path):
+        violations = lint_snippet(tmp_path, """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.count = 0  # guarded-by: _lock
+
+                def bump(self):
+                    self.count += 1
+        """, self.RULES)
+        assert rule_ids(violations) == ["RP101"]
+        assert "Counter.bump" in violations[0].message
+
+    def test_unlocked_read_flagged(self, tmp_path):
+        violations = lint_snippet(tmp_path, """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.count = 0  # guarded-by: _lock
+
+                def peek(self):
+                    return self.count
+        """, self.RULES)
+        assert rule_ids(violations) == ["RP101"]
+
+    def test_with_lock_passes(self, tmp_path):
+        violations = lint_snippet(tmp_path, """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.count = 0  # guarded-by: _lock
+
+                def bump(self):
+                    with self._lock:
+                        self.count += 1
+                        return self.count
+        """, self.RULES)
+        assert violations == []
+
+    def test_condition_alias_counts_as_lock(self, tmp_path):
+        violations = lint_snippet(tmp_path, """
+            import threading
+
+            class Queue:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._not_empty = threading.Condition(self._lock)
+                    self._items = []  # guarded-by: _lock
+
+                def pop(self):
+                    with self._not_empty:
+                        return self._items.pop()
+        """, self.RULES)
+        assert violations == []
+
+    def test_locked_suffix_method_exempt(self, tmp_path):
+        violations = lint_snippet(tmp_path, """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.count = 0  # guarded-by: _lock
+
+                def _bump_locked(self):
+                    self.count += 1
+        """, self.RULES)
+        assert violations == []
+
+    def test_locked_comment_method_exempt(self, tmp_path):
+        violations = lint_snippet(tmp_path, """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.count = 0  # guarded-by: _lock
+
+                def bump(self):  # locked
+                    self.count += 1
+        """, self.RULES)
+        assert violations == []
+
+    def test_wrong_lock_flagged(self, tmp_path):
+        violations = lint_snippet(tmp_path, """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._other = threading.Lock()
+                    self.count = 0  # guarded-by: _lock
+
+                def bump(self):
+                    with self._other:
+                        self.count += 1
+        """, self.RULES)
+        assert rule_ids(violations) == ["RP101"]
+
+    def test_allow_comment_suppresses(self, tmp_path):
+        violations = lint_snippet(tmp_path, """
+            import threading
+
+            class Ring:
+                def __init__(self):
+                    self._claim_lock = threading.Lock()
+                    self._owner = []  # guarded-by: _claim_lock
+
+                def descriptor(self):
+                    return self._owner  # lint: allow RP101 - handed to the child whole
+        """, self.RULES)
+        assert violations == []
+
+    def test_unannotated_class_ignored(self, tmp_path):
+        violations = lint_snippet(tmp_path, """
+            class Plain:
+                def __init__(self):
+                    self.count = 0
+
+                def bump(self):
+                    self.count += 1
+        """, self.RULES)
+        assert violations == []
+
+
+# --------------------------------------------------------------------------- #
+# RP102 — nested re-acquisition
+# --------------------------------------------------------------------------- #
+class TestNestedAcquisition:
+    RULES = [NestedAcquisitionRule()]
+
+    def test_direct_reacquisition_flagged(self, tmp_path):
+        violations = lint_snippet(tmp_path, """
+            import threading
+
+            class Deadlock:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def oops(self):
+                    with self._lock:
+                        with self._lock:
+                            pass
+        """, self.RULES)
+        assert rule_ids(violations) == ["RP102"]
+
+    def test_reacquisition_via_condition_alias_flagged(self, tmp_path):
+        violations = lint_snippet(tmp_path, """
+            import threading
+
+            class Deadlock:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._cond = threading.Condition(self._lock)
+
+                def oops(self):
+                    with self._lock:
+                        with self._cond:
+                            pass
+        """, self.RULES)
+        assert rule_ids(violations) == ["RP102"]
+
+    def test_distinct_locks_pass(self, tmp_path):
+        violations = lint_snippet(tmp_path, """
+            import threading
+
+            class Fine:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def nest(self):
+                    with self._a:
+                        with self._b:
+                            pass
+        """, self.RULES)
+        assert violations == []
+
+    def test_sequential_acquisition_passes(self, tmp_path):
+        violations = lint_snippet(tmp_path, """
+            import threading
+
+            class Fine:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def twice(self):
+                    with self._lock:
+                        pass
+                    with self._lock:
+                        pass
+        """, self.RULES)
+        assert violations == []
+
+
+# --------------------------------------------------------------------------- #
+# RP103 — lexical lock-order cycles
+# --------------------------------------------------------------------------- #
+class TestLockOrderCycle:
+    RULES = [LockOrderCycleRule()]
+
+    def test_conflicting_orders_flagged(self, tmp_path):
+        violations = lint_snippet(tmp_path, """
+            import threading
+
+            class Tangle:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def one(self):
+                    with self._a:
+                        with self._b:
+                            pass
+
+                def two(self):
+                    with self._b:
+                        with self._a:
+                            pass
+        """, self.RULES)
+        assert rule_ids(violations) == ["RP103"]
+        assert "_a" in violations[0].message and "_b" in violations[0].message
+
+    def test_consistent_order_passes(self, tmp_path):
+        violations = lint_snippet(tmp_path, """
+            import threading
+
+            class Fine:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def one(self):
+                    with self._a:
+                        with self._b:
+                            pass
+
+                def two(self):
+                    with self._a:
+                        with self._b:
+                            pass
+        """, self.RULES)
+        assert violations == []
+
+
+# --------------------------------------------------------------------------- #
+# RP104 — guarded-by must name a real lock
+# --------------------------------------------------------------------------- #
+class TestUnknownLock:
+    RULES = [UnknownLockRule()]
+
+    def test_unknown_lock_flagged(self, tmp_path):
+        violations = lint_snippet(tmp_path, """
+            import threading
+
+            class Typo:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.count = 0  # guarded-by: _lokc
+        """, self.RULES)
+        assert rule_ids(violations) == ["RP104"]
+        assert "_lokc" in violations[0].message
+
+    def test_known_lock_passes(self, tmp_path):
+        violations = lint_snippet(tmp_path, """
+            import threading
+
+            class Fine:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.count = 0  # guarded-by: _lock
+        """, self.RULES)
+        assert violations == []
+
+    def test_condition_attribute_is_a_known_lock(self, tmp_path):
+        violations = lint_snippet(tmp_path, """
+            import threading
+
+            class Fine:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._not_empty = threading.Condition(self._lock)
+                    self._items = []  # guarded-by: _not_empty
+        """, self.RULES)
+        assert violations == []
+
+
+# --------------------------------------------------------------------------- #
+# class-info collection
+# --------------------------------------------------------------------------- #
+def test_collect_class_info_maps_guards_and_aliases(tmp_path):
+    path = tmp_path / "repro" / "serve" / "info.py"
+    path.parent.mkdir(parents=True)
+    path.write_text(textwrap.dedent("""
+        import threading
+
+        class Annotated:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._cond = threading.Condition(self._lock)
+                self.items = []  # guarded-by: _lock
+    """))
+    infos = collect_class_info(SourceFile(path))
+    assert len(infos) == 1
+    info = infos[0]
+    assert info.guarded == {"items": "_lock"}
+    assert info.aliases == {"_cond": "_lock"}
+    assert info.resolve("_cond") == "_lock"
+    assert {"_lock", "_cond"} <= info.locks
+
+
+def test_shipped_tree_is_clean():
+    """The acceptance gate: ``python -m repro.analysis src`` exits 0.
+
+    Run against the checked-out ``src/`` tree (located relative to this test
+    file so the installed-package CI leg finds it too).
+    """
+    from pathlib import Path
+
+    from repro.analysis.framework import lint_paths
+
+    src = Path(__file__).resolve().parent.parent / "src"
+    assert src.is_dir()
+    violations = lint_paths([src])
+    assert violations == [], "\n".join(v.render() for v in violations)

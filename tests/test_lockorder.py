@@ -1,0 +1,203 @@
+"""Tests for the runtime lock-order recorder (repro.analysis.lockorder)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analysis.lockorder import (InstrumentedLock, LockOrderError,
+                                      LockOrderRecorder, lock_order_recording)
+
+
+def test_patch_is_scoped():
+    original = threading.Lock
+    with lock_order_recording():
+        lock = threading.Lock()
+        assert isinstance(lock, InstrumentedLock)
+    assert threading.Lock is original
+    assert isinstance(threading.Lock(), type(original()))
+
+
+def test_basic_acquire_release_records_nothing():
+    with lock_order_recording() as recorder:
+        lock = threading.Lock()
+        with lock:
+            pass
+        lock.acquire()
+        lock.release()
+    assert recorder.edges == {}
+    assert recorder.report() == []
+
+
+def test_nested_acquisition_records_edge():
+    with lock_order_recording() as recorder:
+        outer = threading.Lock()
+        inner = threading.Lock()
+        with outer:
+            with inner:
+                pass
+    assert len(recorder.edges) == 1
+    (edge,) = recorder.edges
+    assert edge[0] != edge[1]
+    assert recorder.cycles() == []
+
+
+def test_consistent_order_has_no_cycle():
+    with lock_order_recording() as recorder:
+        a = threading.Lock()
+        b = threading.Lock()
+        for _ in range(3):
+            with a:
+                with b:
+                    pass
+    assert recorder.cycles() == []
+    recorder.check()  # must not raise
+
+
+def test_conflicting_orders_detected_as_cycle():
+    with lock_order_recording() as recorder:
+        a = threading.Lock()
+        b = threading.Lock()
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+    cycles = recorder.cycles()
+    assert len(cycles) == 1
+    assert cycles[0][0] == cycles[0][-1]
+    problems = recorder.report()
+    assert problems and "cycle" in problems[0]
+    with pytest.raises(LockOrderError):
+        recorder.check()
+
+
+def test_cross_thread_inversion_detected():
+    """The deadlock-waiting-to-happen shape: two threads, opposite orders."""
+    with lock_order_recording() as recorder:
+        a = threading.Lock()
+        b = threading.Lock()
+        barrier = threading.Barrier(2)
+
+        def forward():
+            barrier.wait()
+            with a:
+                with b:
+                    pass
+
+        def backward():
+            barrier.wait()
+            # serialised by the join below, so the test never actually
+            # deadlocks — the recorder still sees both orders
+            pass
+
+        t = threading.Thread(target=forward)
+        t2 = threading.Thread(target=backward)
+        t.start(), t2.start()
+        t.join(), t2.join()
+        with b:
+            with a:
+                pass
+    assert recorder.cycles()
+
+
+def test_same_instance_reacquisition_raises():
+    with lock_order_recording() as recorder:
+        lock = threading.Lock()
+        with lock:
+            with pytest.raises(LockOrderError):
+                lock.acquire()
+    assert recorder.violations
+    assert "re-acquired" in recorder.violations[0]
+
+
+def test_same_site_different_instances_not_a_cycle():
+    """N instances from one creation site (e.g. per-shard locks) are one node."""
+    with lock_order_recording() as recorder:
+
+        def make():
+            return threading.Lock()  # single creation site for both
+
+        first, second = make(), make()
+        with first:
+            with second:
+                pass
+        with second:
+            with first:
+                pass
+    # self-edges on one site are excluded: instance order on same-site locks
+    # is not resolvable statically, and per-instance deadlocks surface through
+    # the re-acquisition check instead
+    assert recorder.cycles() == []
+
+
+def test_nonblocking_acquire_does_not_false_positive():
+    with lock_order_recording() as recorder:
+        lock = threading.Lock()
+        with lock:
+            assert lock.acquire(False) is False  # probe, not a deadlock
+    assert recorder.violations == []
+
+
+def test_condition_built_on_instrumented_lock_works():
+    with lock_order_recording() as recorder:
+        lock = threading.Lock()
+        condition = threading.Condition(lock)
+        hits = []
+
+        def consumer():
+            with condition:
+                while not hits:
+                    condition.wait(timeout=5.0)
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        with condition:
+            hits.append(1)
+            condition.notify_all()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+    recorder.check()
+
+
+def test_locks_created_before_recording_still_work():
+    lock = threading.Lock()
+    with lock_order_recording() as recorder:
+        with lock:  # a real lock, not instrumented — must not confuse anything
+            instrumented = threading.Lock()
+            with instrumented:
+                pass
+    recorder.check()
+
+
+def test_recorder_thread_isolation():
+    """Held stacks are per-thread: parallel holders create no fake edges."""
+    # the barriers are built outside the patch: Barrier's internal Condition
+    # would otherwise be instrumented too, and its (real, harmless) nesting
+    # under the held lock is not what this test is about
+    start = threading.Barrier(2)
+    done = threading.Barrier(2)
+    with lock_order_recording() as recorder:
+        a = threading.Lock()
+        b = threading.Lock()
+
+        def hold(lock):
+            with lock:
+                start.wait(timeout=5.0)
+                done.wait(timeout=5.0)
+
+        threads = [threading.Thread(target=hold, args=(lock,))
+                   for lock in (a, b)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=5.0)
+    assert recorder.edges == {}
+
+
+def test_recorder_is_reusable_outside_patch():
+    recorder = LockOrderRecorder()
+    assert recorder.report() == []
+    recorder.check()

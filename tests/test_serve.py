@@ -224,7 +224,7 @@ class TestCompressionServer:
         request_ids = [response.request_id for response in results.values()]
         assert len(set(request_ids)) == len(request_ids)
         references = [decoder.decode(package) for package in packages]
-        for (thread_id, (repeat, index)), response in results.items():
+        for (_thread_id, (_repeat, index)), response in results.items():
             assert response.image.shape == references[index].shape
             assert np.abs(response.image - references[index]).max() < 1e-5
         assert snapshot["completed"] == len(results)
@@ -308,9 +308,9 @@ class TestCompressionServer:
             server.submit(packages[0])
 
     def test_rejects_unknown_kind(self, serve_config, serve_model, packages):
-        with CompressionServer(model=serve_model, config=serve_config) as server:
-            with pytest.raises(ValueError, match="kind"):
-                server.submit(packages[0], kind="transcode")
+        with CompressionServer(model=serve_model, config=serve_config) as server, \
+                pytest.raises(ValueError, match="kind"):
+            server.submit(packages[0], kind="transcode")
 
     def test_codec_for_parses_registry_names(self, serve_config, serve_model):
         server = CompressionServer(model=serve_model, config=serve_config)

@@ -500,9 +500,9 @@ class TestShardedCompressionServer:
         with pytest.raises(ValueError, match="num_shards"):
             ShardedCompressionServer(model=serve_model, config=serve_config,
                                      num_shards=0)
-        with _sharded(serve_model, serve_config, num_shards=1) as server:
-            with pytest.raises(ValueError, match="kind"):
-                server.submit(packages[0], kind="transcode")
+        with _sharded(serve_model, serve_config, num_shards=1) as server, \
+                pytest.raises(ValueError, match="kind"):
+            server.submit(packages[0], kind="transcode")
 
     def test_stop_of_crashed_pool_is_prompt(self, serve_config, serve_model, packages):
         # a shard killed just before stop() must not make shutdown sleep out

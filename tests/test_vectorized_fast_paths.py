@@ -154,7 +154,7 @@ class TestSqueezePlanEquivalence:
         squeezed, grid_shape, original_shape = erase_and_squeeze_image(
             image, use_mask, patch_size, b, direction=direction)
         patches, gshape, _ = image_to_patches(image, patch_size)
-        for index, patch in enumerate(patches):
+        for patch in patches:
             if direction == "vertical":
                 flipped = patch.swapaxes(0, 1)
                 expected = ref_squeeze_patch(flipped, use_mask.T, b).swapaxes(0, 1)
