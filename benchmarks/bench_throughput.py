@@ -44,6 +44,16 @@ unpickle, parent copy) while the ring copies twice (slot in, response out),
 so the ring must deliver ≥1.15x images/sec at 2 shards (guarded by
 ``test_perf_smoke.py``, skipped on <2-CPU hosts like the sharded bar).
 
+The ``serving.chaos`` subsection is a correctness record, not a timing one:
+it replays two :mod:`repro.serve.scenarios` scenarios — payload corruption
+on the threaded server, and SIGKILL-under-watchdog on a 2-shard pool
+(skipped on <2-CPU hosts) — and records the exactly-once invariants
+(``futures_lost`` / ``futures_duplicated`` / ``decoder_crashes``, all of
+which must be zero) plus per-tenant p50/p99/SLO-miss next to the M/D/c
+predicted wait.  ``test_perf_smoke.py`` enforces the zeros strictly on
+whatever was recorded; ``diff_bench.py`` deliberately has no bar for them —
+an invariant is not a noisy timing.
+
 Run with::
 
     PYTHONPATH=src python benchmarks/bench_throughput.py
@@ -466,6 +476,83 @@ def shm_serving_section(config, model, mask, size=256, num_images=8, shards=2,
     return section
 
 
+def _chaos_summary(report):
+    """The recorded shape of one scenario replay: invariants + per-tenant SLOs."""
+    return {
+        "scenario": report.scenario,
+        "duration_s": report.duration_s,
+        "servers": report.servers,
+        "offered": report.offered,
+        "submitted": report.submitted,
+        "completed": report.completed,
+        "futures_lost": report.futures_lost,
+        "futures_duplicated": report.futures_duplicated,
+        "decoder_crashes": report.decoder_crashes,
+        "watchdog_restarts": report.watchdog_restarts,
+        "chaos_events": len(report.chaos_events),
+        "utilisation": report.utilisation,
+        "tenants": {
+            tenant.name: {
+                "qos": tenant.qos,
+                "deadline_ms": tenant.deadline_ms,
+                "latency_p50_ms": tenant.latency_p50_ms,
+                "latency_p99_ms": tenant.latency_p99_ms,
+                "slo_miss_rate": tenant.slo_miss_rate,
+                "predicted_wait_ms_mean": tenant.predicted_wait_ms_mean,
+            }
+            for tenant in report.tenants
+        },
+    }
+
+
+def chaos_serving_section(config, model, threaded_duration_s=4.0):
+    """Replay chaos scenarios and record the exactly-once invariants.
+
+    Unlike the timing sections this one records *correctness under fault
+    injection*: zero lost futures, zero duplicated resolutions, zero
+    non-graceful decoder failures, with per-tenant p50/p99/SLO-miss next to
+    the M/D/c prediction.  The payload-corruption scenario runs on the
+    threaded server (any host); the SIGKILL scenario needs process shards
+    and records a ``skipped`` marker on single-CPU hosts, like the
+    sharded/shm timing bars.  ``tests/test_perf_smoke.py`` enforces the
+    invariants on whatever was recorded — strictly, no noise margin.
+    """
+    import dataclasses
+
+    from repro.serve import (CompressionServer, ShardedCompressionServer,
+                             available_cpus)
+    from repro.serve.scenarios import builtin_scenarios, run_scenario
+
+    scenarios = builtin_scenarios()
+    corrupt = dataclasses.replace(scenarios["corrupt-payloads"],
+                                  duration_s=threaded_duration_s)
+    with CompressionServer(model=model, config=config, num_workers=2,
+                           queue_depth=128) as server:
+        report = run_scenario(corrupt, server, config=config, model=model)
+    assert report.ok(), f"chaos invariants violated: {report.headline()}"
+    section = {"threaded_corruption": _chaos_summary(report)}
+    print(f"serving chaos (threaded): {report.headline()}")
+
+    cpus = available_cpus()
+    if cpus < 2:
+        print(f"serving chaos sharded: skipped ({cpus} CPU visible; "
+              "sharding needs >= 2)")
+        section["sharded_kill"] = {
+            "skipped": f"host exposes {cpus} CPU; process sharding needs >= 2"}
+        return section
+
+    kill = scenarios["kill-shards"]
+    with ShardedCompressionServer(model=model, config=config, num_shards=2,
+                                  **dict(kill.server_hints)) as server:
+        report = run_scenario(kill, server, config=config, model=model)
+    assert report.ok(), f"chaos invariants violated: {report.headline()}"
+    assert report.watchdog_restarts >= 1, \
+        "kill-shards replay never exercised a watchdog restart"
+    section["sharded_kill"] = _chaos_summary(report)
+    print(f"serving chaos (sharded): {report.headline()}")
+    return section
+
+
 def main():
     config = bench_config()
     model = EaszReconstructor(config)
@@ -538,6 +625,9 @@ def main():
 
     # --- serving: zero-copy shm ring vs the queue response path ---------- #
     report["serving"]["shm"] = shm_serving_section(config, model, mask)
+
+    # --- serving: chaos invariants under fault injection ----------------- #
+    report["serving"]["chaos"] = chaos_serving_section(config, model)
 
     out_path = REPO_ROOT / "BENCH_throughput.json"
     out_path.write_text(json.dumps(report, indent=2))

@@ -15,6 +15,7 @@ Usage::
 from __future__ import annotations
 
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -75,6 +76,27 @@ def diff(baseline, fresh):
     return failures
 
 
+def summary_table(baseline, fresh):
+    """Markdown table of every guarded bar for the CI step summary."""
+    lines = ["### Guarded perf bars", "",
+             "| bar | floor | baseline | fresh | status |",
+             "|---|---|---|---|---|"]
+    for path, bar in GUARDED_BARS:
+        label = ".".join(path)
+        base_value = _lookup(baseline, path)
+        fresh_value = _lookup(fresh, path)
+        base_cell = f"{base_value:.3f}" if isinstance(base_value, (int, float)) else "—"
+        if fresh_value is None:
+            fresh_cell = "—"
+            status = ("skipped" if _skipped(fresh, path)
+                      else "ok" if base_value is None else "**missing**")
+        else:
+            fresh_cell = f"{fresh_value:.3f}"
+            status = "ok" if fresh_value >= bar * NOISE_MARGIN else "**regressed**"
+        lines.append(f"| {label} | {bar} | {base_cell} | {fresh_cell} | {status} |")
+    return "\n".join(lines) + "\n"
+
+
 def main(argv):
     if len(argv) != 3:
         print(__doc__)
@@ -82,6 +104,10 @@ def main(argv):
     baseline = json.loads(Path(argv[1]).read_text())
     fresh = json.loads(Path(argv[2]).read_text())
     failures = diff(baseline, fresh)
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as handle:
+            handle.write(summary_table(baseline, fresh))
     if failures:
         print("guarded-bar regressions:")
         for failure in failures:

@@ -96,6 +96,18 @@ class FaultInjector:
     seed: int = 0
     _calls: int = field(default=0, repr=False)
 
+    def __post_init__(self):
+        # validate at construction, not first apply(): a chaos scenario built
+        # with a bad injector must fail when configured, not minutes into a run
+        if self.bit_flips < 0:
+            raise ValueError("bit_flips must be non-negative")
+        if not 0.0 <= self.truncate_to <= 1.0:
+            raise ValueError("truncate_to must be in [0, 1]")
+        if not 0.0 <= self.packet_loss_rate <= 1.0:
+            raise ValueError("packet_loss_rate must be in [0, 1]")
+        if self.packet_bytes <= 0:
+            raise ValueError("packet_bytes must be positive")
+
     def apply(self, payload):
         """Damage one payload according to the configured faults."""
         self._calls += 1

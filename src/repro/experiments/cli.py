@@ -14,7 +14,13 @@ writing a script:
   synthetic dataset (the building block of Table II);
 * ``train`` — pre-train (and cache) the Easz reconstruction model;
 * ``experiment`` — regenerate a quick, reduced-size version of one of the
-  paper's experiments (fig1, fig6, fig8d, table2) directly in the terminal.
+  paper's experiments (fig1, fig6, fig8d, table2) directly in the terminal;
+* ``serve-bench`` — replay Poisson load against a live server and compare
+  the observed queueing with the M/D/c prediction; with ``--scenario NAME``
+  it instead replays a multi-tenant chaos scenario
+  (:mod:`repro.serve.scenarios`) and exits 4 on invariant violations
+  (lost/duplicated futures, decoder crashes) or 3 on a saturated run, so
+  the nightly chaos CI can gate on the exit code alone.
 
 The full-fidelity versions of the experiments live in ``benchmarks/``; the
 CLI drivers use smaller images and fewer operating points so they finish in
@@ -24,6 +30,7 @@ seconds.
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 
 import numpy as np
@@ -146,6 +153,17 @@ def build_parser():
                              help="distinct frames cycled through the replay")
     serve_bench.add_argument("--train-steps", type=int, default=300,
                              help="pre-training steps for the (cached) model")
+    serve_bench.add_argument("--scenario", default=None,
+                             help="replay a named multi-tenant chaos scenario "
+                                  "instead of the plain Poisson load (see "
+                                  "--list-scenarios); exit code 4 on invariant "
+                                  "violations (lost/duplicated futures, decoder "
+                                  "crashes)")
+    serve_bench.add_argument("--scenario-report", default=None, metavar="PATH",
+                             help="write the machine-readable ScenarioReport "
+                                  "JSON here (the chaos CI artifact)")
+    serve_bench.add_argument("--list-scenarios", action="store_true",
+                             help="print the built-in scenario matrix and exit")
     return parser
 
 
@@ -418,11 +436,127 @@ def _experiment_table2(args):
     return 0
 
 
+def _command_list_scenarios():
+    from ..serve.scenarios import builtin_scenarios
+
+    rows = []
+    for name, scenario in sorted(builtin_scenarios().items()):
+        chaos = scenario.chaos
+        faults = []
+        if chaos.kill_shard_at_s:
+            faults.append(f"kill x{len(chaos.kill_shard_at_s)}")
+        if chaos.freeze_shard_at_s:
+            faults.append(f"freeze x{len(chaos.freeze_shard_at_s)}")
+        if chaos.corrupt_fraction > 0:
+            faults.append(f"corrupt {chaos.corrupt_fraction * 100:.0f}%")
+        if chaos.exhaust_shm_at_s:
+            faults.append(f"shm-exhaust x{len(chaos.exhaust_shm_at_s)}")
+        rows.append([name, len(scenario.tenants), f"{scenario.duration_s:.0f}s",
+                     ", ".join(faults) or "none"])
+    print(format_table(["scenario", "tenants", "duration", "chaos"], rows,
+                       title="built-in chaos scenarios (serve-bench --scenario NAME)"))
+    return 0
+
+
+def _resolve_scenario(name):
+    from ..serve.scenarios import builtin_scenarios
+
+    scenarios = builtin_scenarios()
+    scenario = scenarios.get(name)
+    if scenario is None:
+        raise ValueError(f"unknown scenario {name!r}; choose from "
+                         f"{', '.join(sorted(scenarios))}")
+    return scenario
+
+
+def _run_scenario_bench(args, scenario, config, model, batch_policy):
+    """serve-bench --scenario: replay one chaos scenario, report per tenant."""
+    from pathlib import Path
+
+    from ..serve import CompressionServer, ShardedCompressionServer
+    from ..serve.scenarios import run_scenario
+
+    if args.shards > 0:
+        # scenario hints (watchdog cadence, ring sizing) override the generic
+        # CLI defaults — each scenario is tuned to exercise one failure mode
+        kwargs = {
+            "num_shards": args.shards,
+            "workers_per_shard": max(1, args.workers // args.shards),
+            "queue_depth": args.queue_depth,
+            "batch_policy": batch_policy,
+            "result_cache_size": args.result_cache,
+            "use_shm": args.shm,
+            "watchdog_interval_s": args.watchdog_interval if args.watchdog else 0.25,
+        }
+        kwargs.update(dict(scenario.server_hints))
+        server = ShardedCompressionServer(model=model, config=config, **kwargs)
+    else:
+        if scenario.chaos.kill_shard_at_s or scenario.chaos.freeze_shard_at_s \
+                or scenario.chaos.exhaust_shm_at_s:
+            print("warning: scenario has process/ring chaos but --shards is 0; "
+                  "those events will be skipped (threaded server)", file=sys.stderr)
+        server = CompressionServer(
+            model=model, config=config, num_workers=args.workers,
+            queue_depth=args.queue_depth, batch_policy=batch_policy,
+            result_cache_size=args.result_cache,
+        )
+    with server:
+        report = run_scenario(scenario, server, config=config, model=model)
+
+    print(format_kv_block(f"scenario {scenario.name}", {
+        "description": scenario.description or "(none)",
+        "duration (s)": report.duration_s,
+        "servers (c)": report.servers,
+        "offered / submitted / completed":
+            f"{report.offered} / {report.submitted} / {report.completed}",
+        "futures lost / duplicated":
+            f"{report.futures_lost} / {report.futures_duplicated}",
+        "decoder crashes": report.decoder_crashes,
+        "watchdog restarts": report.watchdog_restarts,
+        "utilisation": report.utilisation,
+        "service time / image (ms)": report.service_time_per_image_ms,
+        "chaos events": len(report.chaos_events),
+    }))
+    print()
+    rows = [[t.name, t.qos, t.arrival, f"{t.deadline_ms:.0f}",
+             t.offered, t.completed, t.degraded, t.shed,
+             f"{t.latency_p50_ms:.1f}", f"{t.latency_p99_ms:.1f}",
+             f"{t.predicted_wait_ms_mean:.1f}",
+             f"{t.slo_miss_rate * 100:.1f}%"]
+            for t in report.tenants]
+    print(format_table(
+        ["tenant", "qos", "arrival", "budget ms", "offered", "done", "degr",
+         "shed", "p50 ms", "p99 ms", "M/D/c pred ms", "SLO miss"],
+        rows, title="per-tenant service levels"))
+    for event in report.chaos_events:
+        print(f"chaos @ {event['at_s']:7.3f}s  {event['kind']}: {event['detail']}")
+    print(report.headline())
+
+    if args.scenario_report:
+        Path(args.scenario_report).write_text(report.to_json())
+        print(f"wrote {args.scenario_report}")
+    if not report.ok():
+        print("error: chaos invariants violated — "
+              f"lost={report.futures_lost} duplicated={report.futures_duplicated} "
+              f"decoder_crashes={report.decoder_crashes}", file=sys.stderr)
+        return 4
+    if report.saturated:
+        print("error: scenario run saturated the pool; per-tenant SLO numbers "
+              "are not meaningful at utilisation >= 1", file=sys.stderr)
+        return 3
+    return 0
+
+
 def _command_serve_bench(args):
     """Replay Poisson load against a live micro-batching server."""
     from ..serve import (BatchPolicy, CompressionServer, PoissonLoadGenerator,
                          ShardedCompressionServer, available_cpus)
 
+    if args.list_scenarios:
+        return _command_list_scenarios()
+    # resolve the scenario before the (expensive) model build: a typo in
+    # --scenario should fail in milliseconds, not after pretraining
+    scenario = _resolve_scenario(args.scenario) if args.scenario else None
     if args.shards > 0 and not args.watchdog_interval > 0:
         # fail before the model is built, like BatchPolicy's poll_interval_ms
         raise ValueError("--watchdog-interval must be positive")
@@ -440,14 +574,17 @@ def _command_serve_bench(args):
 
     config = default_benchmark_config()
     model = pretrained_model(config, steps=args.train_steps)
+    batch_policy = BatchPolicy(max_batch_size=args.max_batch,
+                               max_wait_ms=args.batch_wait_ms,
+                               mode="adaptive" if args.adaptive_wait else "fixed")
+    if scenario is not None:
+        return _run_scenario_bench(args, scenario, config, model, batch_policy)
+
     dataset = KodakDataset(num_images=args.images, height=args.height, width=args.width)
     encoder = EaszEncoder(config, seed=0)
     mask = encoder.generate_mask()
     packages = encoder.encode_batch([dataset[i] for i in range(args.images)], mask=mask)
 
-    batch_policy = BatchPolicy(max_batch_size=args.max_batch,
-                               max_wait_ms=args.batch_wait_ms,
-                               mode="adaptive" if args.adaptive_wait else "fixed")
     if args.shards > 0:
         server = ShardedCompressionServer(
             model=model, config=config, num_shards=args.shards,
@@ -509,6 +646,18 @@ def _command_serve_bench(args):
         print()
         print(format_table(["worker", "cache", "hits", "misses", "hit rate"], cache_rows,
                            title="per-worker caches"))
+
+    # a saturated or NaN run is not a benchmark, it is a misconfiguration —
+    # exit non-zero so CI (and scripts) cannot mistake it for a result
+    if report.utilisation >= 1.0:
+        print(f"error: offered load saturated the pool (utilisation "
+              f"{report.utilisation:.2f} >= 1); lower --rate or raise "
+              "--workers/--shards for meaningful latency numbers", file=sys.stderr)
+        return 3
+    if math.isnan(report.latency_p50_ms) or math.isnan(report.latency_p99_ms):
+        print("error: no successful responses (latency is NaN); the run was all "
+              "rejections/failures — check server sizing and --rate", file=sys.stderr)
+        return 3
     return 0
 
 

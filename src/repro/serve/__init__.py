@@ -27,7 +27,14 @@ fast by amortising fixed costs across requests:
   worker *processes* (see the decision matrix below);
 * :class:`PoissonLoadGenerator` — replays :mod:`repro.edge.fleet` Poisson
   arrivals against a live server and reports the observed queueing next to
-  the M/D/c prediction.
+  the M/D/c prediction;
+* :mod:`repro.serve.scenarios` — the multi-tenant chaos harness:
+  :class:`ScenarioSpec` traces (per-tenant Poisson/diurnal/bursty arrivals,
+  QoS deadline budgets, deadline-aware admission that degrades to a cheaper
+  codec quality or sheds when the M/D/c predicted wait exceeds a tenant's
+  budget) replayed while a :class:`~repro.serve.scenarios.ChaosDriver`
+  SIGKILLs/SIGSTOPs shards, corrupts payloads through
+  :mod:`repro.edge.faults` and exhausts the shm ring.
 
 Threaded vs process-sharded — which server to use
 -------------------------------------------------
@@ -89,6 +96,34 @@ use when                     tiny responses (thumbnail  responses are the full
                              containers                 the common serving case
 ===========================  =========================  ==========================
 
+Scenario vs loadgen — which harness to drive a server with
+----------------------------------------------------------
+
+===========================  =========================  ==========================
+concern                      ``PoissonLoadGenerator``   ``scenarios`` harness
+===========================  =========================  ==========================
+traffic                      one homogeneous Poisson    many tenants, each
+                             stream                     Poisson / diurnal / bursty
+admission                    server-side only (queue    client-side deadline-aware
+                             backpressure)              on top: degrade to a
+                                                        cheaper quality, shed, or
+                                                        accept per tenant policy
+faults                       none (healthy pool)        SIGKILL/SIGSTOP shard
+                                                        chaos, payload corruption,
+                                                        shm-ring exhaustion
+verdict                      ``LoadReport`` (observed   ``ScenarioReport``:
+                             wait vs M/D/c prediction)  per-tenant p50/p99 +
+                                                        SLO-miss next to the
+                                                        prediction, plus the
+                                                        exactly-once invariants
+                                                        (lost/duplicated futures,
+                                                        decoder crashes)
+use when                     calibrating capacity /     proving robustness claims;
+                             validating the queueing    the nightly chaos CI
+                             model                      (``serve-bench
+                                                        --scenario``)
+===========================  =========================  ==========================
+
 With ``watchdog_interval_s`` set, a parent-side watchdog additionally
 auto-restarts crashed shards (exponential backoff, restart counts in
 ``stats.snapshot()["watchdog"]``); in-flight requests of the dead shard are
@@ -123,16 +158,22 @@ from .batcher import BatchPolicy, MicroBatcher
 from .cache import LRUCache, ResultCache
 from .loadgen import LoadReport, PoissonLoadGenerator
 from .queueing import AdmissionQueue, QueueClosedError, ServerOverloadedError
+from .scenarios import (ChaosDriver, ChaosSpec, ScenarioReport, ScenarioRunner,
+                        ScenarioSpec, TenantReport, TenantSpec, build_workload,
+                        builtin_scenarios, run_scenario)
 from .server import CompressionServer, PendingResult, ServeRequest, ServeResponse
 from .sharding import (ShardedCompressionServer, ShardFailedError, ShardHandle,
                        available_cpus)
 from .shm import ShmRing, shm_available
-from .telemetry import LatencyWindow, ServerStats, aggregate_snapshots
+from .telemetry import (LatencyWindow, ServerStats, aggregate_snapshots,
+                        summarise_latency_ms)
 from .worker import ServeWorker
 
 __all__ = [
     "AdmissionQueue",
     "BatchPolicy",
+    "ChaosDriver",
+    "ChaosSpec",
     "CompressionServer",
     "LatencyWindow",
     "LoadReport",
@@ -142,6 +183,9 @@ __all__ = [
     "PoissonLoadGenerator",
     "QueueClosedError",
     "ResultCache",
+    "ScenarioReport",
+    "ScenarioRunner",
+    "ScenarioSpec",
     "ServeRequest",
     "ServeResponse",
     "ServeWorker",
@@ -151,7 +195,13 @@ __all__ = [
     "ShardFailedError",
     "ShardHandle",
     "ShmRing",
+    "TenantReport",
+    "TenantSpec",
     "aggregate_snapshots",
     "available_cpus",
+    "build_workload",
+    "builtin_scenarios",
+    "run_scenario",
     "shm_available",
+    "summarise_latency_ms",
 ]

@@ -35,6 +35,7 @@ import numpy as np
 
 from ..edge.fleet import md_c_wait_s
 from .queueing import ServerOverloadedError
+from .telemetry import summarise_latency_ms
 
 __all__ = ["LoadReport", "PoissonLoadGenerator"]
 
@@ -141,10 +142,11 @@ class PoissonLoadGenerator:
                 failures.append(error)
         elapsed = max(time.perf_counter() - started, 1e-9)
 
-        # no completions -> NaN latencies; a fake 0.0 ms percentile would
-        # read as an excellent (not an absent) result
-        latencies = np.asarray([response.latency_s for response in responses]) \
-            if responses else np.full(1, np.nan)
+        # no completions -> NaN latencies (summarise_latency_ms's contract);
+        # a fake 0.0 ms percentile would read as an excellent (not an
+        # absent) result
+        latency_summary = summarise_latency_ms(
+            response.latency_s for response in responses)
         batch_sizes = [response.batch_size for response in responses]
         mean_batch = float(np.mean(batch_sizes)) if batch_sizes else 0.0
         snapshot = self.server.stats.snapshot()
@@ -200,9 +202,9 @@ class PoissonLoadGenerator:
             rejected=rejected,
             offered_rps=arrival_rate_rps,
             achieved_rps=len(responses) / elapsed,
-            latency_p50_ms=float(np.percentile(latencies, 50)) * 1e3,
-            latency_p99_ms=float(np.percentile(latencies, 99)) * 1e3,
-            latency_mean_ms=float(np.mean(latencies)) * 1e3,
+            latency_p50_ms=latency_summary["p50_ms"],
+            latency_p99_ms=latency_summary["p99_ms"],
+            latency_mean_ms=latency_summary["mean_ms"],
             observed_wait_mean_ms=observed_wait_ms,
             service_time_per_image_ms=per_image_service_s * 1e3,
             utilisation=float(utilisation),

@@ -1,0 +1,977 @@
+"""Multi-tenant scenario harness: realistic traffic + chaos against a live pool.
+
+:mod:`repro.serve.loadgen` validates the M/D/c queueing model with a single
+healthy-pool Poisson stream.  This module grows that into the workload the
+ROADMAP's "traffic realism + chaos" item asks for — the load shape under
+which the serving stack's robustness claims (watchdog auto-restart,
+dead-shard re-routing, shm-lease reclamation, graceful decode failures) are
+*continuously exercised* instead of asserted:
+
+* **Tenants** (:class:`TenantSpec`) — each with its own arrival shape
+  (Poisson / diurnal / bursty, from :mod:`repro.edge.fleet`), QoS class and
+  deadline budget;
+* **Deadline-aware admission** — before submitting, the runner predicts the
+  response time a new arrival would see (M/D/c wait from
+  :func:`repro.edge.fleet.md_c_wait_s` at the measured service time plus the
+  service time itself) and, when it exceeds the tenant's budget, degrades the
+  request to a cheaper codec quality, sheds it, or knowingly accepts the SLO
+  risk (``TenantSpec.on_breach``);
+* **Chaos** (:class:`ChaosSpec` / :class:`ChaosDriver`) — while the trace
+  replays, shards are SIGKILLed and SIGSTOPped, payloads are corrupted
+  through :class:`repro.edge.faults.FaultInjector`, and the shm response
+  ring is exhausted by leasing every slot under a sentinel owner;
+* **Per-tenant verdicts** (:class:`TenantReport` / :class:`ScenarioReport`)
+  — p50/p99 latency, SLO-miss rate and the queueing-model prediction side by
+  side, plus the pool-level invariants every chaos run must keep: zero lost
+  futures, zero duplicated resolutions, zero non-graceful decoder failures.
+
+The report is machine-readable (:meth:`ScenarioReport.to_json`); the nightly
+chaos workflow (``.github/workflows/chaos.yml``) runs the built-in scenario
+matrix through ``repro serve-bench --scenario`` and fails on any invariant
+violation.
+
+Quick start::
+
+    from repro.serve import ShardedCompressionServer
+    from repro.serve.scenarios import builtin_scenarios, run_scenario
+
+    scenario = builtin_scenarios()["kill-shards"]
+    with ShardedCompressionServer(model=model, config=config, num_shards=2,
+                                  **dict(scenario.server_hints)) as server:
+        report = run_scenario(scenario, server, config=config, model=model)
+    assert report.ok(), report.headline()
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+import json
+import os
+import signal
+import threading
+import time
+import zlib
+from collections import deque
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from ..codecs.jpeg import JpegCodec
+from ..core import EaszConfig, EaszEncoder, EaszReconstructor, proposed_mask
+from ..edge.faults import FaultInjector
+from ..edge.fleet import (bursty_arrival_times, diurnal_arrival_times,
+                          md_c_wait_s, poisson_arrival_times)
+from .queueing import QueueClosedError, ServerOverloadedError
+from .sharding import ShardFailedError
+from .telemetry import summarise_latency_ms
+
+__all__ = [
+    "TenantSpec",
+    "ChaosSpec",
+    "ScenarioSpec",
+    "TenantReport",
+    "ScenarioReport",
+    "ScenarioRunner",
+    "ChaosDriver",
+    "Workload",
+    "build_workload",
+    "run_scenario",
+    "builtin_scenarios",
+    "scenario_image",
+]
+
+ARRIVAL_SHAPES = ("poisson", "diurnal", "bursty")
+BREACH_POLICIES = ("degrade", "shed", "accept")
+
+#: Exceptions meaning the *infrastructure* failed or refused the request —
+#: checked before the graceful classes because :class:`ShardFailedError`
+#: subclasses ``RuntimeError`` and must never be read as a decoder verdict.
+INFRA_ERRORS = (ShardFailedError, ServerOverloadedError, QueueClosedError,
+                TimeoutError)
+
+#: A damaged payload must surface as one of these (the contract
+#: :func:`repro.edge.faults.check_decoder_robustness` enforces per codec);
+#: anything else from a decode is counted as a decoder crash.
+GRACEFUL_ERRORS = (ValueError, KeyError, IndexError, EOFError)
+
+
+# --------------------------------------------------------------------------- #
+# specs
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's traffic shape and service-level objective.
+
+    ``on_breach`` decides what admission does when the predicted response
+    time exceeds ``deadline_ms``: ``"degrade"`` resubmits the frame encoded
+    at ``degraded_quality`` (a cheaper decode — the paper's quality knob used
+    as a load-shedding dial), ``"shed"`` drops it client-side, ``"accept"``
+    submits anyway and eats the SLO miss.
+    """
+
+    name: str
+    rate_rps: float = 20.0
+    arrival: str = "poisson"
+    qos: str = "standard"
+    deadline_ms: float = 250.0
+    on_breach: str = "degrade"
+    quality: int = 75
+    degraded_quality: int = 35
+    image_size: int = 96
+    kind: str = "reconstruct"
+    num_images: int = 3
+    seed: int = 0
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if not self.rate_rps > 0:
+            raise ValueError("rate_rps must be positive")
+        if self.arrival not in ARRIVAL_SHAPES:
+            raise ValueError(f"arrival must be one of {ARRIVAL_SHAPES}")
+        if not self.deadline_ms > 0:
+            raise ValueError("deadline_ms must be positive")
+        if self.on_breach not in BREACH_POLICIES:
+            raise ValueError(f"on_breach must be one of {BREACH_POLICIES}")
+        if self.kind not in ("reconstruct", "decode"):
+            raise ValueError("kind must be 'reconstruct' or 'decode'")
+        if self.num_images < 1:
+            raise ValueError("num_images must be at least 1")
+
+    def arrival_times(self, duration_s, rng):
+        """This tenant's arrival trace (seconds from scenario start)."""
+        if self.arrival == "diurnal":
+            return diurnal_arrival_times(self.rate_rps, duration_s, rng,
+                                         period_s=duration_s, depth=0.8)
+        if self.arrival == "bursty":
+            return bursty_arrival_times(self.rate_rps, duration_s, rng,
+                                        burst_factor=6.0, duty=0.2, period_s=1.0)
+        return poisson_arrival_times(self.rate_rps, duration_s, rng)
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Faults injected while a scenario replays.
+
+    Times are seconds from scenario start.  ``corrupt_fraction`` damages that
+    share of submitted payloads through a :class:`FaultInjector`
+    (``corrupt_bit_flips`` flips and/or truncation to ``corrupt_truncate_to``)
+    — those requests must fail *gracefully*, never crash a worker.
+    ``exhaust_shm_at_s`` leases every free ring slot under a sentinel owner
+    for ``exhaust_shm_duration_s``, forcing the per-response queue fallback.
+    """
+
+    kill_shard_at_s: tuple = ()
+    freeze_shard_at_s: tuple = ()
+    freeze_duration_s: float = 1.0
+    corrupt_fraction: float = 0.0
+    corrupt_bit_flips: int = 64
+    corrupt_truncate_to: float = 1.0
+    exhaust_shm_at_s: tuple = ()
+    exhaust_shm_duration_s: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if not 0.0 <= self.corrupt_fraction <= 1.0:
+            raise ValueError("corrupt_fraction must be in [0, 1]")
+        if not self.freeze_duration_s > 0:
+            raise ValueError("freeze_duration_s must be positive")
+        if not self.exhaust_shm_duration_s > 0:
+            raise ValueError("exhaust_shm_duration_s must be positive")
+        # build once to validate the injector parameters up front
+        if self.corrupt_fraction > 0:
+            self.injector()
+
+    @property
+    def any_faults(self):
+        return bool(self.kill_shard_at_s or self.freeze_shard_at_s
+                    or self.corrupt_fraction > 0 or self.exhaust_shm_at_s)
+
+    def injector(self):
+        """A fresh payload injector for one scenario run (stateful per run)."""
+        return FaultInjector(bit_flips=self.corrupt_bit_flips,
+                             truncate_to=self.corrupt_truncate_to,
+                             seed=self.seed)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A named multi-tenant trace plus the chaos applied while it replays.
+
+    ``server_hints`` are ``(key, value)`` pairs the CLI applies when building
+    the :class:`~repro.serve.sharding.ShardedCompressionServer` for this
+    scenario (e.g. a short watchdog interval for freeze chaos, or tiny shm
+    slots so responses overflow to the queue path); the harness itself never
+    reads them, so a caller with its own server can ignore them.
+    """
+
+    name: str
+    tenants: tuple
+    duration_s: float = 8.0
+    chaos: ChaosSpec = field(default_factory=ChaosSpec)
+    seed: int = 0
+    description: str = ""
+    server_hints: tuple = ()
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("scenario name must be non-empty")
+        if not self.tenants:
+            raise ValueError("a scenario needs at least one tenant")
+        if not self.duration_s > 0:
+            raise ValueError("duration_s must be positive")
+        names = [tenant.name for tenant in self.tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"tenant names must be unique, got {names}")
+
+
+# --------------------------------------------------------------------------- #
+# workload construction
+# --------------------------------------------------------------------------- #
+def scenario_image(size, seed_value=0):
+    """A smooth synthetic RGB frame (photographic-ish statistics for JPEG)."""
+    rng = np.random.default_rng(seed_value)
+    base = rng.random((size, size, 3))
+    for axis in (0, 1):
+        base = 0.25 * np.roll(base, 1, axis) + 0.5 * base + 0.25 * np.roll(base, -1, axis)
+    return np.clip(base, 0.0, 1.0)
+
+
+@dataclass
+class Workload:
+    """Pre-encoded packages for every tenant of one scenario."""
+
+    scenario: ScenarioSpec
+    config: EaszConfig
+    model: object
+    primary: dict          # tenant name -> list of EaszCompressed
+    degraded: dict         # tenant name -> list of EaszCompressed
+
+    def package_for(self, tenant, index, degraded=False):
+        pool = self.degraded if degraded else self.primary
+        packages = pool[tenant.name]
+        return packages[index % len(packages)]
+
+
+def build_workload(scenario, config=None, model=None):
+    """Encode each tenant's frames at its primary and degraded qualities.
+
+    Encoding happens once, up front: replay then measures the *serving* path
+    only, and the degraded variants are ready the instant admission needs to
+    downshift (a real edge fleet would re-encode at the camera; here the
+    pre-encoded pool stands in for that).
+    """
+    config = config or EaszConfig()
+    model = model if model is not None else EaszReconstructor(config)
+    mask = proposed_mask(config.grid_size, config.erase_per_row,
+                         config.intra_row_min_distance, seed=scenario.seed)
+    primary, degraded = {}, {}
+    for tenant in scenario.tenants:
+        images = [scenario_image(tenant.image_size,
+                                 seed_value=1000 * tenant.seed + index)
+                  for index in range(tenant.num_images)]
+        qualities = {tenant.quality, tenant.degraded_quality}
+        encoded = {}
+        for quality in qualities:
+            encoder = EaszEncoder(config, base_codec=JpegCodec(quality=quality),
+                                  seed=tenant.seed)
+            encoded[quality] = encoder.encode_batch(images, mask=mask)
+        primary[tenant.name] = encoded[tenant.quality]
+        degraded[tenant.name] = encoded[tenant.degraded_quality]
+    return Workload(scenario=scenario, config=config, model=model,
+                    primary=primary, degraded=degraded)
+
+
+def corrupt_package(package, injector):
+    """A shallow copy of ``package`` whose codec payload went through ``injector``.
+
+    Only the copies are touched — the workload's pre-encoded packages are
+    shared across the whole replay and must stay pristine.
+    """
+    damaged_codec = copy.copy(package.codec_payload)
+    damaged_codec.payload = injector.apply(package.codec_payload.payload)
+    damaged = copy.copy(package)
+    damaged.codec_payload = damaged_codec
+    return damaged
+
+
+# --------------------------------------------------------------------------- #
+# chaos driver
+# --------------------------------------------------------------------------- #
+class ChaosDriver:
+    """Replays a :class:`ChaosSpec`'s process/ring faults on a schedule.
+
+    Runs as a daemon thread beside the trace replay.  Shard faults need the
+    sharded server's introspection surface (``live_shard_indices`` /
+    ``shard_process``); against a threaded server those events are skipped
+    and logged, so payload-corruption-only scenarios still run anywhere.
+    """
+
+    #: Ring-slot leases taken during exhaustion use this owner offset so they
+    #: can never collide with a real shard index.
+    SENTINEL_OWNER_OFFSET = 1024
+
+    def __init__(self, server, chaos, rng):
+        self.server = server
+        self.chaos = chaos
+        self.rng = rng
+        self.events = []  # appended only by the driver thread, read after join
+        self._thread = None
+        self._stop = threading.Event()
+        schedule = []
+        for at_s in chaos.kill_shard_at_s:
+            schedule.append((float(at_s), "kill"))
+        for at_s in chaos.freeze_shard_at_s:
+            schedule.append((float(at_s), "freeze"))
+        for at_s in chaos.exhaust_shm_at_s:
+            schedule.append((float(at_s), "exhaust-shm"))
+        self._schedule = sorted(schedule)
+
+    # ------------------------------------------------------------------ #
+    def start(self, started_at):
+        if not self._schedule:
+            return self
+        self._thread = threading.Thread(
+            target=self._run, args=(started_at,), name="chaos-driver", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self):
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+
+    def _log(self, at_s, kind, detail):
+        self.events.append({"at_s": round(float(at_s), 3), "kind": kind,
+                            "detail": detail})
+
+    # ------------------------------------------------------------------ #
+    def _pick_victim(self):
+        indices = getattr(self.server, "live_shard_indices", None)
+        if indices is None:
+            return None
+        alive = indices()
+        if not alive:
+            return None
+        return int(self.rng.choice(alive))
+
+    def _run(self, started_at):
+        for at_s, kind in self._schedule:
+            while not self._stop.is_set():
+                remaining = at_s - (time.monotonic() - started_at)
+                if remaining <= 0:
+                    break
+                time.sleep(min(remaining, 0.05))
+            if self._stop.is_set():
+                return
+            elapsed = time.monotonic() - started_at
+            if kind == "kill":
+                self._kill(elapsed)
+            elif kind == "freeze":
+                self._freeze(elapsed)
+            elif kind == "exhaust-shm":
+                self._exhaust_shm(elapsed)
+
+    def _kill(self, elapsed):
+        victim = self._pick_victim()
+        if victim is None:
+            self._log(elapsed, "kill", "skipped: no shard introspection / none alive")
+            return
+        process = self.server.shard_process(victim)
+        if process is None or not process.is_alive():
+            self._log(elapsed, "kill", f"skipped: shard {victim} already down")
+            return
+        process.kill()
+        self._log(elapsed, "kill", f"SIGKILL shard {victim} (pid {process.pid})")
+
+    def _freeze(self, elapsed):
+        victim = self._pick_victim()
+        if victim is None:
+            self._log(elapsed, "freeze", "skipped: no shard introspection / none alive")
+            return
+        process = self.server.shard_process(victim)
+        if process is None or process.pid is None or not process.is_alive():
+            self._log(elapsed, "freeze", f"skipped: shard {victim} already down")
+            return
+        pid = process.pid
+        try:
+            os.kill(pid, signal.SIGSTOP)
+        except ProcessLookupError:
+            self._log(elapsed, "freeze", f"skipped: shard {victim} died first")
+            return
+        self._log(elapsed, "freeze",
+                  f"SIGSTOP shard {victim} (pid {pid}) for "
+                  f"{self.chaos.freeze_duration_s:.1f}s")
+        self._stop.wait(self.chaos.freeze_duration_s)
+        try:
+            os.kill(pid, signal.SIGCONT)
+            detail = f"SIGCONT shard {victim} (pid {pid})"
+        except ProcessLookupError:
+            # the watchdog's hang detector killed it mid-freeze — exactly the
+            # recovery path this fault exists to exercise
+            detail = f"shard {victim} (pid {pid}) was reaped while frozen"
+        self._log(elapsed + self.chaos.freeze_duration_s, "thaw", detail)
+
+    def _exhaust_shm(self, elapsed):
+        ring_getter = getattr(self.server, "shm_ring", None)
+        ring = ring_getter() if ring_getter is not None else None
+        if ring is None:
+            self._log(elapsed, "exhaust-shm", "skipped: no shm ring on this server")
+            return
+        owner = self.SENTINEL_OWNER_OFFSET
+        leased = 0
+        while True:
+            lease = ring.claim(owner)
+            if lease is None:
+                break
+            leased += 1
+        self._log(elapsed, "exhaust-shm",
+                  f"leased {leased}/{ring.num_slots} slots for "
+                  f"{self.chaos.exhaust_shm_duration_s:.1f}s")
+        self._stop.wait(self.chaos.exhaust_shm_duration_s)
+        freed = ring.reclaim(owner)
+        self._log(elapsed + self.chaos.exhaust_shm_duration_s, "release-shm",
+                  f"reclaimed {freed} sentinel-leased slots")
+
+
+# --------------------------------------------------------------------------- #
+# reports
+# --------------------------------------------------------------------------- #
+@dataclass
+class TenantReport:
+    """One tenant's verdict: observed latency + SLO vs the model's prediction."""
+
+    name: str
+    qos: str
+    arrival: str
+    deadline_ms: float
+    offered: int
+    submitted: int
+    completed: int
+    degraded: int
+    shed: int
+    admission_rejected: int
+    infra_failures: int
+    graceful_rejections: int
+    decoder_crashes: int
+    deadline_misses: int
+    slo_miss_rate: float
+    latency_p50_ms: float
+    latency_p99_ms: float
+    latency_mean_ms: float
+    predicted_wait_ms_mean: float
+
+
+@dataclass
+class ScenarioReport:
+    """Machine-readable outcome of one scenario replay (the CI artifact)."""
+
+    scenario: str
+    description: str
+    duration_s: float
+    servers: int
+    offered: int
+    submitted: int
+    completed: int
+    futures_lost: int
+    futures_duplicated: int
+    decoder_crashes: int
+    utilisation: float
+    service_time_per_image_ms: float
+    saturated: bool
+    tenants: list = field(default_factory=list)
+    chaos_events: list = field(default_factory=list)
+    watchdog_restarts: int = 0
+
+    def ok(self):
+        """The chaos invariants: every future resolved exactly once, and a
+        damaged payload never took a worker down."""
+        return (self.futures_lost == 0 and self.futures_duplicated == 0
+                and self.decoder_crashes == 0)
+
+    def headline(self):
+        verdict = "OK" if self.ok() else (
+            f"VIOLATION lost={self.futures_lost} dup={self.futures_duplicated} "
+            f"crashes={self.decoder_crashes}")
+        worst = max(self.tenants, key=lambda t: t.slo_miss_rate, default=None)
+        tail = (f", worst tenant {worst.name} misses "
+                f"{worst.slo_miss_rate * 100:.1f}% (p99 {worst.latency_p99_ms:.0f} ms "
+                f"vs {worst.deadline_ms:.0f} ms budget)" if worst else "")
+        return (f"{self.scenario}: {verdict} — {self.completed}/{self.offered} served "
+                f"on {self.servers} server(s), {len(self.chaos_events)} chaos "
+                f"event(s){tail}")
+
+    def to_dict(self):
+        return asdict(self)
+
+    def to_json(self, indent=2):
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+# --------------------------------------------------------------------------- #
+# the runner
+# --------------------------------------------------------------------------- #
+class _TenantState:
+    """Mutable per-tenant accounting (all fields guarded by the runner's lock)."""
+
+    __slots__ = ("offered", "submitted", "completed", "degraded", "shed",
+                 "admission_rejected", "infra_failures", "graceful_rejections",
+                 "decoder_crashes", "deadline_misses", "latencies_s",
+                 "predicted_waits_ms")
+
+    def __init__(self):
+        self.offered = 0
+        self.submitted = 0
+        self.completed = 0
+        self.degraded = 0
+        self.shed = 0
+        self.admission_rejected = 0
+        self.infra_failures = 0
+        self.graceful_rejections = 0
+        self.decoder_crashes = 0
+        self.deadline_misses = 0
+        self.latencies_s = []
+        self.predicted_waits_ms = []
+
+
+class ScenarioRunner:
+    """Replays one scenario against a live server and renders the report.
+
+    The runner is the *client side* of the story: it paces submissions along
+    the merged tenant timeline, decides accept/degrade/shed per request from
+    the live M/D/c estimate, damages the configured fraction of payloads, and
+    accounts every future's resolution exactly once.  Server-side faults run
+    concurrently in the :class:`ChaosDriver`.
+    """
+
+    #: How often the stats sampler refreshes the service-time estimate.  The
+    #: sharded server's snapshot polls shard control pipes, so per-request
+    #: probing is off the table; a few-hundred-ms-stale estimate is fine for
+    #: admission (service times drift slowly).
+    SAMPLE_INTERVAL_S = 0.3
+
+    #: Sliding window for the arrival-rate estimate fed to the M/D/c model.
+    RATE_WINDOW_S = 2.0
+
+    def __init__(self, server, scenario, workload, drain_timeout_s=60.0):
+        if workload.scenario is not scenario and workload.scenario.name != scenario.name:
+            raise ValueError("workload was built for a different scenario")
+        self.server = server
+        self.scenario = scenario
+        self.workload = workload
+        self.drain_timeout_s = float(drain_timeout_s)
+        self.servers = max(int(getattr(server, "parallelism", 1) or 1), 1)
+        self._lock = threading.Lock()
+        self._tenants = {t.name: _TenantState() for t in scenario.tenants}  # guarded-by: _lock
+        self._resolutions = {}  # guarded-by: _lock — submission id -> callback count
+        self._recent_arrivals = deque()  # guarded-by: _lock — monotonic stamps
+        self._service_time_ms = float("nan")  # guarded-by: _lock
+        self._sampler = None
+        self._sampler_stop = threading.Event()
+        self._last_totals = None  # sampler-thread private
+        self._submission_ids = itertools.count()  # only run() allocates
+        self._driver_events = []  # final after ChaosDriver.stop()
+
+    # ------------------------------------------------------------------ #
+    # admission estimate
+    # ------------------------------------------------------------------ #
+    def _sample_once(self):
+        try:
+            snapshot = self.server.stats.snapshot()
+        except Exception:  # noqa: BLE001 - a dying pool must not kill the sampler
+            return
+        totals = (snapshot.get("service_seconds_total", 0.0),
+                  snapshot.get("completed", 0))
+        if self._last_totals is not None:
+            delta_service = totals[0] - self._last_totals[0]
+            delta_completed = totals[1] - self._last_totals[1]
+            if delta_completed > 0 and delta_service >= 0:
+                with self._lock:
+                    self._service_time_ms = 1e3 * delta_service / delta_completed
+        elif totals[1] > 0:
+            with self._lock:
+                self._service_time_ms = 1e3 * totals[0] / totals[1]
+        self._last_totals = totals
+
+    def _sampler_loop(self):
+        while not self._sampler_stop.wait(self.SAMPLE_INTERVAL_S):
+            self._sample_once()
+
+    def _predict_response_ms_locked(self, now):
+        """Predicted response time for an arrival admitted right now.
+
+        M/D/c wait at the recent admitted-arrival rate and the sampled
+        per-image service time, plus the service time itself.  NaN until the
+        first service-time sample lands (admission then accepts — predicting
+        from nothing would shed traffic a cold pool could actually serve).
+        """
+        service_ms = self._service_time_ms
+        if not np.isfinite(service_ms) or service_ms <= 0:
+            return float("nan")
+        cutoff = now - self.RATE_WINDOW_S
+        while self._recent_arrivals and self._recent_arrivals[0] < cutoff:
+            self._recent_arrivals.popleft()
+        rate_rps = len(self._recent_arrivals) / self.RATE_WINDOW_S
+        if rate_rps <= 0:
+            return service_ms
+        wait_s = md_c_wait_s(rate_rps, service_ms / 1e3, self.servers)
+        return wait_s * 1e3 + service_ms
+
+    # ------------------------------------------------------------------ #
+    # submission plumbing
+    # ------------------------------------------------------------------ #
+    def _classify_locked(self, state, error):
+        if isinstance(error, INFRA_ERRORS):
+            state.infra_failures += 1
+        elif isinstance(error, GRACEFUL_ERRORS):
+            state.graceful_rejections += 1
+        else:
+            state.decoder_crashes += 1
+
+    def _completion_callback(self, submission_id, tenant_name, deadline_ms):
+        def _on_done(pending):
+            try:
+                response = pending.result(timeout=0)
+            except Exception as error:  # noqa: BLE001 - classified, reported
+                with self._lock:
+                    self._resolutions[submission_id] += 1
+                    self._classify_locked(self._tenants[tenant_name], error)
+                return
+            with self._lock:
+                self._resolutions[submission_id] += 1
+                state = self._tenants[tenant_name]
+                state.completed += 1
+                state.latencies_s.append(response.latency_s)
+                if response.latency_s * 1e3 > deadline_ms:
+                    state.deadline_misses += 1
+        return _on_done
+
+    def _submit_one(self, tenant, package, submission_id):
+        """Submit under exactly-once accounting; returns the future or None."""
+        with self._lock:
+            self._resolutions[submission_id] = 0
+            self._tenants[tenant.name].submitted += 1
+            self._recent_arrivals.append(time.monotonic())
+        try:
+            pending = self.server.submit(package, kind=tenant.kind)
+        except (ServerOverloadedError, QueueClosedError):
+            with self._lock:
+                del self._resolutions[submission_id]
+                state = self._tenants[tenant.name]
+                state.submitted -= 1
+                state.admission_rejected += 1
+            return None
+        except Exception:  # noqa: BLE001 - a mid-chaos submit error is an infra outcome, not a run abort
+            with self._lock:
+                del self._resolutions[submission_id]
+                self._tenants[tenant.name].infra_failures += 1
+            return None
+        pending.add_done_callback(
+            self._completion_callback(submission_id, tenant.name, tenant.deadline_ms))
+        return pending
+
+    # ------------------------------------------------------------------ #
+    def _build_timeline(self, rng):
+        """Merged (arrival_s, tenant, frame_index) schedule across tenants."""
+        timeline = []
+        for tenant in self.scenario.tenants:
+            # crc32, not hash(): str hashing is salted per process and would
+            # make the trace non-reproducible across runs
+            tenant_rng = np.random.default_rng(
+                (self.scenario.seed, tenant.seed, zlib.crc32(tenant.name.encode())))
+            times = tenant.arrival_times(self.scenario.duration_s, tenant_rng)
+            for frame_index, at_s in enumerate(times):
+                timeline.append((float(at_s), tenant, frame_index))
+        timeline.sort(key=lambda item: item[0])
+        return timeline
+
+    def _warmup(self):
+        """One request per tenant outside the clock: caches + a service sample."""
+        pendings = []
+        for tenant in self.scenario.tenants:
+            package = self.workload.package_for(tenant, 0)
+            pendings.append((self.server.submit(package, kind=tenant.kind), tenant))
+        for pending, tenant in pendings:
+            pending.result(timeout=self.drain_timeout_s)
+        self._sample_once()
+
+    def run(self, warmup=True):
+        """Replay the scenario; blocks until drained, returns the report."""
+        rng = np.random.default_rng(self.scenario.seed)
+        corrupt_rng = np.random.default_rng(self.scenario.seed + 1)
+        injector = self.scenario.chaos.injector()
+        timeline = self._build_timeline(rng)
+        with self._lock:
+            for _, tenant, _ in timeline:
+                self._tenants[tenant.name].offered += 1
+        if warmup:
+            self._warmup()
+        self._sampler_stop.clear()
+        self._sampler = threading.Thread(target=self._sampler_loop,
+                                         name="scenario-sampler", daemon=True)
+        self._sampler.start()
+        driver = ChaosDriver(self.server, self.scenario.chaos, rng)
+        started = time.monotonic()
+        driver.start(started)
+        pendings = []
+        try:
+            for at_s, tenant, frame_index in timeline:
+                delay = at_s - (time.monotonic() - started)
+                if delay > 0:
+                    time.sleep(delay)
+                now = time.monotonic()
+                with self._lock:
+                    predicted_ms = self._predict_response_ms_locked(now)
+                    state = self._tenants[tenant.name]
+                    state.predicted_waits_ms.append(predicted_ms)
+                degraded = False
+                breach = np.isfinite(predicted_ms) and predicted_ms > tenant.deadline_ms
+                if breach and tenant.on_breach == "shed":
+                    with self._lock:
+                        state.shed += 1
+                    continue
+                if breach and tenant.on_breach == "degrade":
+                    degraded = True
+                package = self.workload.package_for(tenant, frame_index,
+                                                    degraded=degraded)
+                if (self.scenario.chaos.corrupt_fraction > 0
+                        and corrupt_rng.random() < self.scenario.chaos.corrupt_fraction):
+                    package = corrupt_package(package, injector)
+                pending = self._submit_one(tenant, package,
+                                           next(self._submission_ids))
+                if pending is not None:
+                    pendings.append(pending)
+                    if degraded:
+                        with self._lock:
+                            state.degraded += 1
+        finally:
+            driver.stop()
+            self._driver_events = list(driver.events)
+            self._sampler_stop.set()
+            if self._sampler is not None:
+                self._sampler.join(timeout=5.0)
+        elapsed = time.monotonic() - started
+        unresolved = 0
+        deadline = time.monotonic() + self.drain_timeout_s
+        for pending in pendings:
+            remaining = max(deadline - time.monotonic(), 0.0)
+            try:
+                pending.result(timeout=remaining)
+            except Exception:  # noqa: BLE001 - outcome already recorded by the callback
+                pass
+            if not pending.done():
+                unresolved += 1
+        # a future the drain saw unresolved may still resolve microseconds
+        # later; give callbacks one scheduling beat before reading counters
+        if unresolved:
+            time.sleep(0.2)
+        return self._render_report(elapsed)
+
+    # ------------------------------------------------------------------ #
+    def _render_report(self, elapsed):
+        snapshot = None
+        try:
+            snapshot = self.server.stats.snapshot()
+        except Exception:  # noqa: BLE001 - report what the run measured anyway
+            snapshot = {}
+        with self._lock:
+            lost = sum(1 for count in self._resolutions.values() if count == 0)
+            duplicated = sum(1 for count in self._resolutions.values() if count > 1)
+            service_ms = self._service_time_ms
+            tenants = []
+            for tenant in self.scenario.tenants:
+                state = self._tenants[tenant.name]
+                latency = summarise_latency_ms(state.latencies_s)
+                finite_predictions = [p for p in state.predicted_waits_ms
+                                      if np.isfinite(p)]
+                missed = (state.deadline_misses + state.shed
+                          + state.admission_rejected + state.infra_failures
+                          + state.graceful_rejections + state.decoder_crashes)
+                tenants.append(TenantReport(
+                    name=tenant.name,
+                    qos=tenant.qos,
+                    arrival=tenant.arrival,
+                    deadline_ms=tenant.deadline_ms,
+                    offered=state.offered,
+                    submitted=state.submitted,
+                    completed=state.completed,
+                    degraded=state.degraded,
+                    shed=state.shed,
+                    admission_rejected=state.admission_rejected,
+                    infra_failures=state.infra_failures,
+                    graceful_rejections=state.graceful_rejections,
+                    decoder_crashes=state.decoder_crashes,
+                    deadline_misses=state.deadline_misses,
+                    slo_miss_rate=missed / max(state.offered, 1),
+                    latency_p50_ms=latency["p50_ms"],
+                    latency_p99_ms=latency["p99_ms"],
+                    latency_mean_ms=latency["mean_ms"],
+                    predicted_wait_ms_mean=(float(np.mean(finite_predictions))
+                                            if finite_predictions else float("nan")),
+                ))
+        offered = sum(report.offered for report in tenants)
+        submitted = sum(report.submitted for report in tenants)
+        completed = sum(report.completed for report in tenants)
+        crashes = sum(report.decoder_crashes for report in tenants)
+        utilisation = float("nan")
+        if np.isfinite(service_ms) and elapsed > 0:
+            utilisation = (submitted / elapsed) * (service_ms / 1e3) / self.servers
+        saturated = bool(np.isfinite(utilisation) and utilisation >= 1.0) or (
+            submitted == 0 and offered > 0)
+        watchdog = snapshot.get("watchdog", {}) if isinstance(snapshot, dict) else {}
+        restarts = watchdog.get("restarts_total", 0) if isinstance(watchdog, dict) else 0
+        return ScenarioReport(
+            scenario=self.scenario.name,
+            description=self.scenario.description,
+            duration_s=elapsed,
+            servers=self.servers,
+            offered=offered,
+            submitted=submitted,
+            completed=completed,
+            futures_lost=lost,
+            futures_duplicated=duplicated,
+            decoder_crashes=crashes,
+            utilisation=utilisation,
+            service_time_per_image_ms=service_ms,
+            saturated=saturated,
+            tenants=tenants,
+            chaos_events=list(self._driver_events),
+            watchdog_restarts=int(restarts),
+        )
+
+
+def run_scenario(scenario, server, config=None, model=None, workload=None,
+                 warmup=True, drain_timeout_s=60.0):
+    """Build the workload (unless given) and replay ``scenario`` on ``server``."""
+    if workload is None:
+        workload = build_workload(scenario, config=config, model=model)
+    runner = ScenarioRunner(server, scenario, workload,
+                            drain_timeout_s=drain_timeout_s)
+    return runner.run(warmup=warmup)
+
+
+# --------------------------------------------------------------------------- #
+# the built-in matrix
+# --------------------------------------------------------------------------- #
+def builtin_scenarios():
+    """The named scenario matrix the chaos CI replays nightly.
+
+    Durations are single-digit seconds: long enough for the arrival shapes
+    and the watchdog recovery loop to matter, short enough that the whole
+    matrix stays inside a CI job.  ``server_hints`` tune the pool per
+    scenario (short watchdog ticks for process chaos, a starved ring for the
+    shm scenarios).
+    """
+    premium = TenantSpec(name="premium-cam", rate_rps=12.0, qos="premium",
+                         deadline_ms=150.0, on_breach="degrade", quality=75,
+                         degraded_quality=35, image_size=96, seed=1)
+    standard = TenantSpec(name="standard-cam", rate_rps=18.0, qos="standard",
+                          deadline_ms=400.0, on_breach="accept", quality=60,
+                          degraded_quality=30, image_size=96, seed=2)
+    batch = TenantSpec(name="batch-archive", rate_rps=8.0, qos="batch",
+                       deadline_ms=1500.0, on_breach="shed", quality=85,
+                       degraded_quality=50, image_size=128, kind="decode", seed=3)
+    chaos_watchdog_hints = (("watchdog_interval_s", 0.2),
+                            ("watchdog_backoff_s", 0.2),
+                            ("watchdog_hang_timeout_s", 1.0),
+                            ("queue_depth", 128))
+    scenarios = [
+        ScenarioSpec(
+            name="steady-mix",
+            description="Three QoS classes under plain Poisson load; the "
+                        "no-chaos baseline every other scenario is read against.",
+            tenants=(premium, standard, batch),
+            duration_s=6.0,
+        ),
+        ScenarioSpec(
+            name="diurnal-sweep",
+            description="Day/night-shaped load: peaks offer 1.8x the mean, "
+                        "troughs let the pool drain; admission should degrade "
+                        "only near the peaks.",
+            tenants=(
+                TenantSpec(name="east-fleet", rate_rps=20.0, arrival="diurnal",
+                           deadline_ms=250.0, on_breach="degrade", seed=11),
+                TenantSpec(name="west-fleet", rate_rps=20.0, arrival="diurnal",
+                           deadline_ms=250.0, on_breach="degrade", seed=12),
+            ),
+            duration_s=8.0,
+        ),
+        ScenarioSpec(
+            name="burst-storm",
+            description="A bursty tenant storms a steady one: 6x bursts at "
+                        "20% duty must not blow the steady tenant's budget.",
+            tenants=(
+                TenantSpec(name="bursty-fleet", rate_rps=24.0, arrival="bursty",
+                           deadline_ms=200.0, on_breach="degrade", seed=21),
+                standard,
+            ),
+            duration_s=8.0,
+        ),
+        ScenarioSpec(
+            name="kill-shards",
+            description="SIGKILL a live shard twice mid-trace; the watchdog "
+                        "restarts it and the reaper re-routes in-flight work — "
+                        "no future may be lost or doubled.",
+            tenants=(premium, standard),
+            duration_s=8.0,
+            chaos=ChaosSpec(kill_shard_at_s=(2.0, 5.0), seed=31),
+            server_hints=chaos_watchdog_hints,
+        ),
+        ScenarioSpec(
+            name="freeze-shard",
+            description="SIGSTOP a shard for 1.5s with a 1s hang timeout: the "
+                        "watchdog must detect the silent heartbeat, kill and "
+                        "replace the frozen process.",
+            tenants=(premium, standard),
+            duration_s=8.0,
+            chaos=ChaosSpec(freeze_shard_at_s=(2.5,), freeze_duration_s=1.5,
+                            seed=41),
+            server_hints=chaos_watchdog_hints,
+        ),
+        ScenarioSpec(
+            name="corrupt-payloads",
+            description="15% of payloads arrive bit-flipped or truncated; "
+                        "every one must fail gracefully (ValueError-class), "
+                        "never crash a worker.",
+            tenants=(premium, standard),
+            duration_s=6.0,
+            chaos=ChaosSpec(corrupt_fraction=0.15, corrupt_bit_flips=96,
+                            corrupt_truncate_to=0.7, seed=51),
+        ),
+        ScenarioSpec(
+            name="shm-pressure",
+            description="A starved 4-slot ring with oversized 128px responses "
+                        "plus two full-ring exhaustion windows: every response "
+                        "must fall back to the queue path, none may be lost.",
+            tenants=(
+                TenantSpec(name="big-frames", rate_rps=14.0, deadline_ms=600.0,
+                           on_breach="accept", image_size=128, seed=61),
+                premium,
+            ),
+            duration_s=7.0,
+            chaos=ChaosSpec(exhaust_shm_at_s=(1.5, 4.0),
+                            exhaust_shm_duration_s=1.0, seed=62),
+            server_hints=(("shm_slots", 4), ("shm_slot_bytes", 1 << 16),
+                          ("queue_depth", 128)),
+        ),
+        ScenarioSpec(
+            name="chaos-mix",
+            description="Everything at once: bursty+diurnal tenants, a kill, "
+                        "a freeze, corrupted payloads and an shm-exhaustion "
+                        "window — the nightly smoke of the full failure matrix.",
+            tenants=(
+                TenantSpec(name="bursty-fleet", rate_rps=18.0, arrival="bursty",
+                           deadline_ms=250.0, on_breach="degrade", seed=71),
+                TenantSpec(name="diurnal-fleet", rate_rps=14.0, arrival="diurnal",
+                           deadline_ms=400.0, on_breach="accept", seed=72),
+            ),
+            duration_s=10.0,
+            chaos=ChaosSpec(kill_shard_at_s=(3.0,), freeze_shard_at_s=(6.0,),
+                            freeze_duration_s=1.5, corrupt_fraction=0.1,
+                            corrupt_bit_flips=64, exhaust_shm_at_s=(8.0,),
+                            exhaust_shm_duration_s=1.0, seed=73),
+            server_hints=chaos_watchdog_hints,
+        ),
+    ]
+    return {scenario.name: scenario for scenario in scenarios}

@@ -318,6 +318,15 @@ class CompressionServer:
         """Unpack a wire container (``EASZ`` magic) and queue it."""
         return self.submit(unpack_package(data), kind=kind)
 
+    def current_depth(self):
+        """Requests currently queued (admission-control observability).
+
+        Deadline-aware admission (:mod:`repro.serve.scenarios`) reads this to
+        estimate the wait a new arrival would see without touching telemetry
+        locks on the hot path.
+        """
+        return self.queue.depth
+
     # ------------------------------------------------------------------ #
     # worker support
     # ------------------------------------------------------------------ #

@@ -817,6 +817,46 @@ class ShardedCompressionServer:
         """Unpack a wire container (``EASZ`` magic) and queue it."""
         return self.submit(unpack_package(data), kind=kind)
 
+    def current_depth(self):
+        """Total in-flight requests across all shards (admission observability)."""
+        with self._lock:
+            return sum(self._inflight)
+
+    # ------------------------------------------------------------------ #
+    # chaos-harness introspection
+    # ------------------------------------------------------------------ #
+    def live_shard_indices(self):
+        """Indices of shards whose processes are currently alive.
+
+        The chaos driver (:mod:`repro.serve.scenarios`) uses this to pick a
+        victim; it is a point-in-time observation, not a guarantee — a shard
+        may die (or be restarted by the watchdog) immediately after.
+        """
+        with self._lock:
+            shards = list(self._shards)
+        return [shard.index for shard in shards if shard.is_alive()]
+
+    def shard_process(self, index):
+        """The live :class:`multiprocessing.Process` behind shard ``index``.
+
+        Exposed for fault injection (SIGKILL/SIGSTOP chaos) and diagnostics
+        only — sending work to it directly bypasses routing and admission.
+        Returns ``None`` while the slot is down between restarts.
+        """
+        if not 0 <= index < self.num_shards:
+            raise ValueError(f"no shard {index}")
+        with self._lock:
+            shard = self._shards[index] if self._shards else None
+        return shard.process if shard is not None else None
+
+    def shm_ring(self):
+        """The live response :class:`~repro.serve.shm.ShmRing` (None when off).
+
+        Chaos scenarios lease slots through it (under a sentinel owner index)
+        to exercise ring exhaustion; normal callers never need it.
+        """
+        return self._shm_ring
+
     # ------------------------------------------------------------------ #
     # response collection
     # ------------------------------------------------------------------ #

@@ -15,7 +15,26 @@ from collections import Counter, deque
 
 import numpy as np
 
-__all__ = ["LatencyWindow", "ServerStats", "aggregate_snapshots"]
+__all__ = ["LatencyWindow", "ServerStats", "aggregate_snapshots",
+           "summarise_latency_ms"]
+
+
+def summarise_latency_ms(samples_s):
+    """p50/p99/mean (milliseconds) of latency samples given in seconds.
+
+    The one place the "no completions → NaN, never a fake 0.0 ms" convention
+    is implemented; the load generator and the scenario harness both report
+    through it so their numbers stay comparable.
+    """
+    samples = np.asarray(list(samples_s), dtype=float)
+    if samples.size == 0:
+        nan = float("nan")
+        return {"p50_ms": nan, "p99_ms": nan, "mean_ms": nan}
+    return {
+        "p50_ms": float(np.percentile(samples, 50)) * 1e3,
+        "p99_ms": float(np.percentile(samples, 99)) * 1e3,
+        "mean_ms": float(np.mean(samples)) * 1e3,
+    }
 
 
 class LatencyWindow:

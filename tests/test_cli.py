@@ -29,6 +29,30 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["roundtrip", "--codec", "webp"])
 
+    def test_serve_bench_scenario_flags(self):
+        args = build_parser().parse_args(
+            ["serve-bench", "--scenario", "kill-shards",
+             "--scenario-report", "out.json"])
+        assert args.scenario == "kill-shards"
+        assert args.scenario_report == "out.json"
+        assert not args.list_scenarios
+        assert build_parser().parse_args(["serve-bench"]).scenario is None
+
+
+class TestServeBenchScenarios:
+    def test_list_scenarios_prints_matrix_without_building_a_model(self, capsys):
+        assert main(["serve-bench", "--list-scenarios"]) == 0
+        output = capsys.readouterr().out
+        for name in ("kill-shards", "corrupt-payloads", "chaos-mix"):
+            assert name in output
+
+    def test_unknown_scenario_fails_fast(self, capsys):
+        # must error out before the pretrained-model build (exit 2, not hang)
+        assert main(["serve-bench", "--scenario", "no-such-scenario"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario" in err
+        assert "kill-shards" in err  # the message names the valid choices
+
     def test_serve_bench_shm_and_watchdog_flags(self):
         args = build_parser().parse_args(["serve-bench", "--shards", "2"])
         assert args.shm and not args.watchdog

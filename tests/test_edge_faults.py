@@ -68,6 +68,84 @@ class TestFaultPrimitives:
         assert injector.apply(payload) != injector.apply(payload)
 
 
+class TestFaultEdgeCases:
+    def test_zero_length_payload_through_every_primitive(self):
+        assert flip_bits(b"", 64, seed=1) == b""
+        assert truncate_payload(b"", 0.5) == b""
+        assert drop_packets(b"", loss_rate=1.0) == b""
+
+    def test_zero_length_payload_through_injector(self):
+        injector = FaultInjector(bit_flips=8, truncate_to=0.5, packet_loss_rate=0.5)
+        assert injector.apply(b"") == b""
+
+    def test_total_packet_loss_erases_everything_but_keeps_length(self):
+        payload = bytes([0xAB]) * 4096
+        damaged = drop_packets(payload, packet_bytes=512, loss_rate=1.0, seed=7)
+        assert len(damaged) == len(payload)
+        assert damaged == bytes(len(payload))
+
+    def test_keep_fraction_zero_empties_the_payload(self):
+        assert truncate_payload(bytes(range(50)), 0.0) == b""
+        injector = FaultInjector(truncate_to=0.0)
+        assert injector.apply(bytes(range(50))) == b""
+        assert not injector.is_clean
+
+
+class TestInjectorValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"bit_flips": -1},
+        {"truncate_to": -0.1},
+        {"truncate_to": 1.5},
+        {"packet_loss_rate": -0.5},
+        {"packet_loss_rate": 2.0},
+        {"packet_bytes": 0},
+    ], ids=["neg-flips", "neg-trunc", "over-trunc", "neg-loss", "over-loss",
+            "zero-packet"])
+    def test_bad_configuration_fails_at_construction(self, kwargs):
+        # misconfiguration must fail when the injector is built, not when a
+        # chaos scenario first applies it minutes into a run
+        with pytest.raises(ValueError):
+            FaultInjector(**kwargs)
+
+
+@pytest.mark.parametrize("codec_factory", [
+    lambda: JpegCodec(quality=70),
+    lambda: BpgCodec(qp=32),
+    lambda: MbtCodec(quality=4),
+    lambda: PngCodec(),
+], ids=["jpeg", "bpg", "mbt", "png"])
+class TestFailureModeClassification:
+    """Every codec's failure mode under extreme damage must be graceful.
+
+    ``check_decoder_robustness`` only converts ValueError-class exceptions
+    into a "rejected" result; anything else propagates and fails the test —
+    that propagation IS the classification of a crash.
+    """
+
+    def test_empty_payload_is_rejected_not_crashed(self, codec_factory, kodak_small):
+        codec = codec_factory()
+        result = check_decoder_robustness(codec, kodak_small[0],
+                                          FaultInjector(truncate_to=0.0),
+                                          description="payload fully truncated")
+        assert result.graceful
+        # nothing decodes zero bytes into an image; a clean rejection names
+        # the exception class for the chaos report
+        assert result.outcome == "rejected"
+        assert result.error_type
+
+    def test_total_packet_loss_is_classified(self, codec_factory, kodak_small):
+        codec = codec_factory()
+        injector = FaultInjector(packet_loss_rate=1.0, packet_bytes=64, seed=21)
+        result = check_decoder_robustness(codec, kodak_small[0], injector,
+                                          metric=psnr,
+                                          description="100% packet loss")
+        assert result.graceful
+        if result.outcome == "decoded":
+            # an all-zeros bitstream that still decodes must yield a real
+            # (if terrible) image, not NaNs
+            assert np.isfinite(result.quality_db)
+
+
 @pytest.mark.parametrize("codec_factory", [
     lambda: JpegCodec(quality=70),
     lambda: BpgCodec(qp=32),

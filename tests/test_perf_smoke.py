@@ -182,3 +182,33 @@ def test_shm_zero_copy_bar_recorded_in_bench_json():
         f"{_SHM_SPEEDUP_BAR}x at {section['num_shards']} shards); the "
         "zero-copy path has regressed or is falling back to the queue"
     )
+
+
+def test_chaos_invariants_recorded_in_bench_json():
+    """Every recorded chaos replay must show the exactly-once invariants.
+
+    Unlike the timing bars these are enforced strictly — zero lost futures,
+    zero duplicated resolutions, zero non-graceful decoder failures — on
+    every sub-run ``chaos_serving_section`` recorded (sub-runs a host cannot
+    measure carry ``skipped`` markers and are ignored).  A violation here is
+    a correctness bug in the serving stack, never measurement noise, which
+    is also why ``diff_bench.py`` has no NOISE_MARGIN-tolerant bar for it.
+    """
+    report = json.loads(_BENCH_JSON.read_text())
+    section = report.get("serving", {}).get("chaos") or {}
+    assert section, ("BENCH_throughput.json has no serving.chaos section; "
+                     "re-run benchmarks/bench_throughput.py")
+    recorded = {name: run for name, run in section.items()
+                if isinstance(run, dict) and "skipped" not in run}
+    assert recorded, "every chaos sub-run was skipped; the bench host is broken"
+    for name, run in recorded.items():
+        assert run["futures_lost"] == 0, \
+            f"chaos run {name} lost {run['futures_lost']} futures"
+        assert run["futures_duplicated"] == 0, \
+            f"chaos run {name} resolved {run['futures_duplicated']} futures twice"
+        assert run["decoder_crashes"] == 0, (
+            f"chaos run {name} saw {run['decoder_crashes']} non-graceful "
+            "decoder failures on damaged payloads")
+        assert run["tenants"], f"chaos run {name} recorded no per-tenant SLOs"
+        for tenant, slo in run["tenants"].items():
+            assert 0.0 <= slo["slo_miss_rate"] <= 1.0, (tenant, slo)
