@@ -17,7 +17,8 @@ writing a script:
   paper's experiments (fig1, fig6, fig8d, table2) directly in the terminal;
 * ``serve-bench`` — replay Poisson load against a live server and compare
   the observed queueing with the M/D/c prediction; with ``--scenario NAME``
-  it instead replays a multi-tenant chaos scenario
+  (or ``--scenario-file PATH`` for a custom ScenarioSpec JSON) it instead
+  replays a multi-tenant chaos scenario
   (:mod:`repro.serve.scenarios`) and exits 4 on invariant violations
   (lost/duplicated futures, decoder crashes) or 3 on a saturated run, so
   the nightly chaos CI can gate on the exit code alone.
@@ -159,6 +160,11 @@ def build_parser():
                                   "--list-scenarios); exit code 4 on invariant "
                                   "violations (lost/duplicated futures, decoder "
                                   "crashes)")
+    serve_bench.add_argument("--scenario-file", default=None, metavar="PATH",
+                             help="replay a custom scenario loaded from a "
+                                  "ScenarioSpec JSON file (see ScenarioSpec."
+                                  "to_json); mutually exclusive with "
+                                  "--scenario")
     serve_bench.add_argument("--scenario-report", default=None, metavar="PATH",
                              help="write the machine-readable ScenarioReport "
                                   "JSON here (the chaos CI artifact)")
@@ -469,6 +475,22 @@ def _resolve_scenario(name):
     return scenario
 
 
+def _load_scenario_file(path):
+    """Parse a ScenarioSpec from a JSON file; bad fields exit 2 via ValueError."""
+    from pathlib import Path
+
+    from ..serve.scenarios import ScenarioSpec
+
+    try:
+        text = Path(path).read_text()
+    except OSError as error:
+        raise ValueError(f"cannot read scenario file {path!r}: {error}") from error
+    try:
+        return ScenarioSpec.from_json(text)
+    except ValueError as error:
+        raise ValueError(f"scenario file {path!r}: {error}") from error
+
+
 def _run_scenario_bench(args, scenario, config, model, batch_policy):
     """serve-bench --scenario: replay one chaos scenario, report per tenant."""
     from pathlib import Path
@@ -495,11 +517,17 @@ def _run_scenario_bench(args, scenario, config, model, batch_policy):
                 or scenario.chaos.exhaust_shm_at_s:
             print("warning: scenario has process/ring chaos but --shards is 0; "
                   "those events will be skipped (threaded server)", file=sys.stderr)
-        server = CompressionServer(
-            model=model, config=config, num_workers=args.workers,
-            queue_depth=args.queue_depth, batch_policy=batch_policy,
-            result_cache_size=args.result_cache,
-        )
+        kwargs = {
+            "num_workers": args.workers,
+            "queue_depth": args.queue_depth,
+            "batch_policy": batch_policy,
+            "result_cache_size": args.result_cache,
+        }
+        # scenario hints still override here, minus the process/ring knobs a
+        # threaded server has no equivalent for (shm sizing, watchdog cadence)
+        kwargs.update({key: value for key, value in dict(scenario.server_hints).items()
+                       if key in kwargs})
+        server = CompressionServer(model=model, config=config, **kwargs)
     with server:
         report = run_scenario(scenario, server, config=config, model=model)
 
@@ -513,6 +541,8 @@ def _run_scenario_bench(args, scenario, config, model, batch_policy):
             f"{report.futures_lost} / {report.futures_duplicated}",
         "decoder crashes": report.decoder_crashes,
         "watchdog restarts": report.watchdog_restarts,
+        "retries / hedges / deadline-shed":
+            f"{report.retries} / {report.hedges} / {report.deadline_shed}",
         "utilisation": report.utilisation,
         "service time / image (ms)": report.service_time_per_image_ms,
         "chaos events": len(report.chaos_events),
@@ -520,13 +550,15 @@ def _run_scenario_bench(args, scenario, config, model, batch_policy):
     print()
     rows = [[t.name, t.qos, t.arrival, f"{t.deadline_ms:.0f}",
              t.offered, t.completed, t.degraded, t.shed,
+             t.retries, t.hedges, t.deadline_shed,
              f"{t.latency_p50_ms:.1f}", f"{t.latency_p99_ms:.1f}",
              f"{t.predicted_wait_ms_mean:.1f}",
              f"{t.slo_miss_rate * 100:.1f}%"]
             for t in report.tenants]
     print(format_table(
         ["tenant", "qos", "arrival", "budget ms", "offered", "done", "degr",
-         "shed", "p50 ms", "p99 ms", "M/D/c pred ms", "SLO miss"],
+         "shed", "retry", "hedge", "dl-shed", "p50 ms", "p99 ms",
+         "M/D/c pred ms", "SLO miss"],
         rows, title="per-tenant service levels"))
     for event in report.chaos_events:
         print(f"chaos @ {event['at_s']:7.3f}s  {event['kind']}: {event['detail']}")
@@ -555,8 +587,13 @@ def _command_serve_bench(args):
     if args.list_scenarios:
         return _command_list_scenarios()
     # resolve the scenario before the (expensive) model build: a typo in
-    # --scenario should fail in milliseconds, not after pretraining
+    # --scenario or a malformed --scenario-file should fail in milliseconds,
+    # not after pretraining
+    if args.scenario and args.scenario_file:
+        raise ValueError("--scenario and --scenario-file are mutually exclusive")
     scenario = _resolve_scenario(args.scenario) if args.scenario else None
+    if args.scenario_file:
+        scenario = _load_scenario_file(args.scenario_file)
     if args.shards > 0 and not args.watchdog_interval > 0:
         # fail before the model is built, like BatchPolicy's poll_interval_ms
         raise ValueError("--watchdog-interval must be positive")

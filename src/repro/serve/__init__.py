@@ -34,7 +34,15 @@ fast by amortising fixed costs across requests:
   codec quality or sheds when the M/D/c predicted wait exceeds a tenant's
   budget) replayed while a :class:`~repro.serve.scenarios.ChaosDriver`
   SIGKILLs/SIGSTOPs shards, corrupts payloads through
-  :mod:`repro.edge.faults` and exhausts the shm ring.
+  :mod:`repro.edge.faults` and exhausts the shm ring;
+* :mod:`repro.serve.resilience` — the client side of the robustness story:
+  :class:`RetryPolicy` (backoff + jitter, token-bucket :class:`RetryBudget`),
+  per-shard :class:`CircuitBreaker` consulted by the sharded router,
+  :class:`ResilientClient` (retries + optional p95 hedging, exactly-once)
+  and :class:`ClosedLoopClient` think-time load loops; absolute deadlines
+  (``submit(..., deadline_s=...)``, :func:`deadline_after_ms`) propagate
+  through queue → batcher → worker → shard so expired work is shed with
+  :class:`DeadlineExceededError` *before* any decode is paid for.
 
 Threaded vs process-sharded — which server to use
 -------------------------------------------------
@@ -124,6 +132,52 @@ use when                     calibrating capacity /     proving robustness claim
                                                         --scenario``)
 ===========================  =========================  ==========================
 
+Retry vs hedge vs degrade vs shed — which resilience lever to pull
+------------------------------------------------------------------
+
+Four distinct mechanisms trade work for latency when a request is at risk;
+they answer different failure modes and must not be confused:
+
+===========================  ==============================================
+lever                        what it is / when it applies
+===========================  ==============================================
+retry                        re-submit *after* a retryable failure
+(:class:`RetryPolicy` via    (:class:`ShardFailedError`, overload,
+:class:`ResilientClient`)    timeout).  Exponential backoff + full jitter;
+                             gated by a :class:`RetryBudget` token bucket so
+                             retry traffic is capped at a fraction of fresh
+                             traffic — without the budget, retries amplify
+                             overload into a metastable retry storm.
+                             Never retries permanent errors (corrupt
+                             payload, expired deadline, closed queue).
+hedge                        speculative *duplicate* submitted while the
+(``hedge_after_ms`` /        first attempt is still in flight and slower
+``"p95"``)                   than expected.  Attacks tail latency, not
+                             failures; costs duplicate work, so it draws
+                             from the same retry budget.  First answer
+                             wins; the loser is absorbed (exactly-once at
+                             the caller).
+degrade                      admission-time *quality* trade: when the
+(``on_breach="degrade"``)    predicted queue wait breaches the tenant's
+                             deadline budget, re-encode at the tenant's
+                             ``degraded_quality`` — less work per request,
+                             same request count.
+shed                         drop the request outright: client-side when
+(``on_breach="shed"``, or    predicted wait breaches the budget, or
+deadline propagation)        server-side at every pipeline stage once the
+                             propagated absolute deadline has expired
+                             (:class:`DeadlineExceededError`) — a reply
+                             nobody will wait for is pure waste, so it is
+                             shed *before* decode, not after.
+===========================  ==============================================
+
+Rules of thumb: retries repair *infra* failures, hedges repair *tail*
+latency, degrade preserves throughput under *predicted* overload, and
+deadline shedding stops *dead* work from consuming live capacity.  Per-shard
+circuit breakers (:class:`CircuitBreaker`) sit underneath all four: a shard
+that keeps failing is routed around (closed → open → half-open probe) so
+retries and hedges are not wasted on a corpse.
+
 With ``watchdog_interval_s`` set, a parent-side watchdog additionally
 auto-restarts crashed shards (exponential backoff, restart counts in
 ``stats.snapshot()["watchdog"]``); in-flight requests of the dead shard are
@@ -157,10 +211,13 @@ Scaling out is the same API::
 from .batcher import BatchPolicy, MicroBatcher
 from .cache import LRUCache, ResultCache
 from .loadgen import LoadReport, PoissonLoadGenerator
-from .queueing import AdmissionQueue, QueueClosedError, ServerOverloadedError
-from .scenarios import (ChaosDriver, ChaosSpec, ScenarioReport, ScenarioRunner,
-                        ScenarioSpec, TenantReport, TenantSpec, build_workload,
-                        builtin_scenarios, run_scenario)
+from .queueing import (AdmissionQueue, DeadlineExceededError, QueueClosedError,
+                       ServerOverloadedError, deadline_after_ms)
+from .resilience import (CircuitBreaker, ClosedLoopClient, ResilientClient,
+                         RetryBudget, RetryPolicy)
+from .scenarios import (ChaosDriver, ChaosSpec, ResilienceSpec, ScenarioReport,
+                        ScenarioRunner, ScenarioSpec, TenantReport, TenantSpec,
+                        build_workload, builtin_scenarios, run_scenario)
 from .server import CompressionServer, PendingResult, ServeRequest, ServeResponse
 from .sharding import (ShardedCompressionServer, ShardFailedError, ShardHandle,
                        available_cpus)
@@ -174,7 +231,10 @@ __all__ = [
     "BatchPolicy",
     "ChaosDriver",
     "ChaosSpec",
+    "CircuitBreaker",
+    "ClosedLoopClient",
     "CompressionServer",
+    "DeadlineExceededError",
     "LatencyWindow",
     "LoadReport",
     "LRUCache",
@@ -182,7 +242,11 @@ __all__ = [
     "PendingResult",
     "PoissonLoadGenerator",
     "QueueClosedError",
+    "ResilienceSpec",
+    "ResilientClient",
     "ResultCache",
+    "RetryBudget",
+    "RetryPolicy",
     "ScenarioReport",
     "ScenarioRunner",
     "ScenarioSpec",
@@ -201,6 +265,7 @@ __all__ = [
     "available_cpus",
     "build_workload",
     "builtin_scenarios",
+    "deadline_after_ms",
     "run_scenario",
     "shm_available",
     "summarise_latency_ms",

@@ -62,10 +62,15 @@ class BatchPolicy:
 class MicroBatcher:
     """Forms batches of compatible requests from an :class:`AdmissionQueue`."""
 
-    def __init__(self, queue, policy=None, key_fn=None):
+    def __init__(self, queue, policy=None, key_fn=None, on_expired=None):
         self.queue = queue
         self.policy = policy or BatchPolicy()
         self.key_fn = key_fn or (lambda request: request.batch_key)
+        # deadline shedding: when set, requests whose absolute monotonic
+        # deadline has passed are handed to ``on_expired(request)`` instead of
+        # being batched (the server rejects their futures and counts the
+        # shed).  ``None`` keeps the bare batcher deadline-oblivious.
+        self.on_expired = on_expired
         # adaptive state: EWMA of the gap between consecutive submissions.
         # One batcher is shared by every worker thread, so the read-modify-
         # write is locked (it is far off the hot path: a few float ops per
@@ -123,6 +128,23 @@ class MicroBatcher:
         return min(max(gap * want, floor), ceiling)
 
     # ------------------------------------------------------------------ #
+    def _expired(self, request):
+        """Whether a request's absolute deadline passed (only when shedding)."""
+        if self.on_expired is None:
+            return False
+        deadline_s = getattr(request, "deadline_s", None)
+        return deadline_s is not None and time.monotonic() >= deadline_s
+
+    def _shed_expired(self, requests):
+        """Hand expired requests to ``on_expired``; return the live remainder."""
+        live = []
+        for request in requests:
+            if self._expired(request):
+                self.on_expired(request)
+            else:
+                live.append(request)
+        return live
+
     def next_batch(self, timeout=0.1):
         """Return the next batch (list of requests) or ``None`` if idle.
 
@@ -133,8 +155,15 @@ class MicroBatcher:
         ``wait_nonempty`` block and the incompatible-traffic sleep) is clamped
         to the anchor deadline, so a batch is never held past its budget.
         Incompatible requests are left untouched in their original order.
+
+        When the batcher was built with ``on_expired``, requests whose own
+        absolute deadline already passed are shed here — before a worker
+        spends any decode time on them — and never join a batch.
         """
         first = self.queue.pop(timeout=timeout)
+        while first is not None and self._expired(first):
+            self.on_expired(first)
+            first = self.queue.pop(timeout=0.0)
         if first is None:
             return None
         anchor_s = time.perf_counter()
@@ -145,8 +174,8 @@ class MicroBatcher:
         want = policy.max_batch_size - 1
         if want <= 0:
             return batch
-        taken = self.queue.take_matching(
-            lambda request: self.key_fn(request) == key, want)
+        taken = self._shed_expired(self.queue.take_matching(
+            lambda request: self.key_fn(request) == key, want))
         batch.extend(taken)
         for request in taken:
             self.observe_arrival(request)
@@ -158,9 +187,9 @@ class MicroBatcher:
                 break
             if self.queue.depth == 0:
                 self.queue.wait_nonempty(min(remaining, poll_s))
-            taken = self.queue.take_matching(
+            taken = self._shed_expired(self.queue.take_matching(
                 lambda request: self.key_fn(request) == key,
-                policy.max_batch_size - len(batch))
+                policy.max_batch_size - len(batch)))
             batch.extend(taken)
             for request in taken:
                 self.observe_arrival(request)

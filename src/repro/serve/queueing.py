@@ -16,7 +16,9 @@ import threading
 import time
 from collections import deque
 
-__all__ = ["ServerOverloadedError", "QueueClosedError", "AdmissionQueue"]
+__all__ = ["ServerOverloadedError", "QueueClosedError", "DeadlineExceededError",
+           "AdmissionQueue", "deadline_after_ms", "deadline_expired",
+           "deadline_remaining_s"]
 
 
 class ServerOverloadedError(RuntimeError):
@@ -25,6 +27,46 @@ class ServerOverloadedError(RuntimeError):
 
 class QueueClosedError(RuntimeError):
     """Raised when submitting to a queue that has been closed."""
+
+
+class DeadlineExceededError(RuntimeError):
+    """A request's absolute deadline passed before (or while) it was served.
+
+    Distinct from :class:`TimeoutError` (the *caller* gave up waiting) and
+    from :class:`ServerOverloadedError` (admission refused the request): a
+    deadline shed means the server itself decided the work was no longer
+    worth doing — the response could only arrive after the client stopped
+    caring — and dropped it *before* the expensive decode/reconstruct.
+    Retrying a deadline shed is never useful, so the retry machinery in
+    :mod:`repro.serve.resilience` classifies it as permanent.
+    """
+
+
+# --------------------------------------------------------------------------- #
+# deadline propagation
+# --------------------------------------------------------------------------- #
+# Deadlines are absolute stamps on the ``time.monotonic`` clock, which on
+# Linux is CLOCK_MONOTONIC and therefore shared by every process on the host
+# — a deadline stamped in the parent stays meaningful after it crosses the
+# sharded server's wire format into a worker process.
+
+def deadline_after_ms(budget_ms, clock=time.monotonic):
+    """Absolute monotonic deadline ``budget_ms`` from now (None passes through)."""
+    if budget_ms is None:
+        return None
+    return clock() + float(budget_ms) * 1e-3
+
+
+def deadline_expired(deadline_s, clock=time.monotonic):
+    """True when an absolute deadline has passed (``None`` never expires)."""
+    return deadline_s is not None and clock() >= deadline_s
+
+
+def deadline_remaining_s(deadline_s, clock=time.monotonic):
+    """Seconds left until the deadline, floored at 0 (``inf`` when none)."""
+    if deadline_s is None:
+        return float("inf")
+    return max(deadline_s - clock(), 0.0)
 
 
 class AdmissionQueue:

@@ -62,13 +62,17 @@ from ..core import EaszConfig, EaszEncoder, EaszReconstructor, proposed_mask
 from ..edge.faults import FaultInjector
 from ..edge.fleet import (bursty_arrival_times, diurnal_arrival_times,
                           md_c_wait_s, poisson_arrival_times)
-from .queueing import QueueClosedError, ServerOverloadedError
+from .queueing import (DeadlineExceededError, QueueClosedError,
+                       ServerOverloadedError, deadline_after_ms)
+from .resilience import (ClosedLoopClient, ResilientClient, RetryBudget,
+                         RetryPolicy)
 from .sharding import ShardFailedError
 from .telemetry import summarise_latency_ms
 
 __all__ = [
     "TenantSpec",
     "ChaosSpec",
+    "ResilienceSpec",
     "ScenarioSpec",
     "TenantReport",
     "ScenarioReport",
@@ -108,6 +112,19 @@ class TenantSpec:
     at ``degraded_quality`` (a cheaper decode — the paper's quality knob used
     as a load-shedding dial), ``"shed"`` drops it client-side, ``"accept"``
     submits anyway and eats the SLO miss.
+
+    ``propagate_deadline=True`` additionally stamps each submission with an
+    absolute server-side deadline of ``deadline_ms`` — the server then sheds
+    anything that expires in its queues (counted under ``deadline_shed``)
+    instead of finishing work the client stopped caring about.
+
+    ``closed_loop=True`` switches the tenant from open-loop trace replay to
+    ``clients`` think-time clients (:class:`~repro.serve.resilience.
+    ClosedLoopClient`): each keeps one request outstanding, waits
+    ``think_time_ms`` between accepted requests and backs off exponentially
+    on rejection — the client behaviour that lets a metastable overload
+    actually drain.  ``rate_rps`` and ``arrival`` are ignored for
+    closed-loop tenants (the loop, not a trace, sets the rate).
     """
 
     name: str
@@ -122,6 +139,10 @@ class TenantSpec:
     kind: str = "reconstruct"
     num_images: int = 3
     seed: int = 0
+    propagate_deadline: bool = False
+    closed_loop: bool = False
+    clients: int = 2
+    think_time_ms: float = 50.0
 
     def __post_init__(self):
         if not self.name:
@@ -138,6 +159,10 @@ class TenantSpec:
             raise ValueError("kind must be 'reconstruct' or 'decode'")
         if self.num_images < 1:
             raise ValueError("num_images must be at least 1")
+        if self.clients < 1:
+            raise ValueError("clients must be at least 1")
+        if self.think_time_ms < 0:
+            raise ValueError("think_time_ms must be non-negative")
 
     def arrival_times(self, duration_s, rng):
         """This tenant's arrival trace (seconds from scenario start)."""
@@ -196,6 +221,54 @@ class ChaosSpec:
 
 
 @dataclass(frozen=True)
+class ResilienceSpec:
+    """Client-side retry/hedge configuration for a scenario's tenants.
+
+    When present (and ``enabled``), every tenant submits through its own
+    :class:`~repro.serve.resilience.ResilientClient` built from these
+    parameters, so transient infra errors (shard crashes, admission
+    rejections) retry under a token-bucket budget instead of surfacing to
+    the accounting as failures.  ``budget_ratio=None`` disables the budget —
+    every retryable error retries up to ``max_attempts``, which is the
+    configuration the ``retry-storm`` scenario demonstrates melting down.
+    ``hedge_after_ms`` enables request hedging (a number of milliseconds, or
+    ``"p95"`` to track the client's own observed p95 latency).
+    """
+
+    enabled: bool = True
+    max_attempts: int = 3
+    base_backoff_ms: float = 10.0
+    max_backoff_ms: float = 200.0
+    budget_ratio: float = 0.1
+    budget_burst: float = 10.0
+    hedge_after_ms: object = None
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_backoff_ms < 0:
+            raise ValueError("base_backoff_ms must be non-negative")
+        if self.max_backoff_ms < self.base_backoff_ms:
+            raise ValueError("max_backoff_ms must be >= base_backoff_ms")
+        if self.budget_ratio is not None and self.budget_ratio < 0:
+            raise ValueError("budget_ratio must be non-negative or None")
+        if not self.budget_burst >= 1:
+            raise ValueError("budget_burst must be at least 1")
+        if (self.hedge_after_ms is not None and self.hedge_after_ms != "p95"
+                and not float(self.hedge_after_ms) > 0):
+            raise ValueError("hedge_after_ms must be positive, 'p95' or None")
+
+    def policy(self):
+        """A fresh :class:`RetryPolicy` (own budget bucket) for one client."""
+        budget = (RetryBudget(ratio=self.budget_ratio, burst=self.budget_burst)
+                  if self.budget_ratio is not None else None)
+        return RetryPolicy(max_attempts=self.max_attempts,
+                           base_backoff_s=self.base_backoff_ms * 1e-3,
+                           max_backoff_s=self.max_backoff_ms * 1e-3,
+                           budget=budget)
+
+
+@dataclass(frozen=True)
 class ScenarioSpec:
     """A named multi-tenant trace plus the chaos applied while it replays.
 
@@ -213,6 +286,7 @@ class ScenarioSpec:
     seed: int = 0
     description: str = ""
     server_hints: tuple = ()
+    resilience: ResilienceSpec = None
 
     def __post_init__(self):
         if not self.name:
@@ -224,6 +298,89 @@ class ScenarioSpec:
         names = [tenant.name for tenant in self.tenants]
         if len(set(names)) != len(names):
             raise ValueError(f"tenant names must be unique, got {names}")
+        if self.resilience is not None and not isinstance(self.resilience,
+                                                          ResilienceSpec):
+            raise ValueError("resilience must be a ResilienceSpec or None")
+
+    # ------------------------------------------------------------------ #
+    # JSON round-trip (``serve-bench --scenario-file``)
+    # ------------------------------------------------------------------ #
+    def to_dict(self):
+        """Plain-dict form of the spec (nested specs become dicts)."""
+        return asdict(self)
+
+    def to_json(self, indent=2):
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild a spec from :meth:`to_dict` output (or hand-written JSON).
+
+        Every validation error — an unknown field, a missing required field,
+        a value a spec's ``__post_init__`` rejects — surfaces as a
+        ``ValueError`` naming the offending field and the spec it belongs
+        to, so ``serve-bench --scenario-file`` fails with a usable message
+        instead of a traceback.
+        """
+        if not isinstance(data, dict):
+            raise ValueError("a scenario spec must be a JSON object")
+        data = dict(data)
+        tenants = data.pop("tenants", None)
+        if not isinstance(tenants, (list, tuple)) or not tenants:
+            raise ValueError(
+                "field 'tenants' must be a non-empty list of tenant objects")
+        data["tenants"] = tuple(
+            _spec_from_dict(TenantSpec, entry, f"tenants[{index}]")
+            for index, entry in enumerate(tenants))
+        chaos = data.pop("chaos", None)
+        if chaos is not None:
+            for key in ("kill_shard_at_s", "freeze_shard_at_s", "exhaust_shm_at_s"):
+                if key in chaos:
+                    chaos = dict(chaos)
+                    chaos[key] = tuple(chaos[key])
+            data["chaos"] = _spec_from_dict(ChaosSpec, chaos, "chaos")
+        resilience = data.pop("resilience", None)
+        if resilience is not None:
+            data["resilience"] = _spec_from_dict(ResilienceSpec, resilience,
+                                                 "resilience")
+        hints = data.pop("server_hints", None)
+        if hints is not None:
+            try:
+                data["server_hints"] = tuple((str(key), value)
+                                             for key, value in hints)
+            except (TypeError, ValueError) as error:
+                raise ValueError(
+                    "field 'server_hints' must be a list of [key, value] "
+                    f"pairs: {error}") from error
+        return _spec_from_dict(cls, data, "scenario")
+
+    @classmethod
+    def from_json(cls, text):
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"scenario file is not valid JSON: {error}") from error
+        return cls.from_dict(data)
+
+
+def _spec_from_dict(spec_cls, data, context):
+    """Construct a spec dataclass, converting constructor failures into
+    ``ValueError``\\ s that name the bad field and where it lives."""
+    if not isinstance(data, dict):
+        raise ValueError(f"{context} must be a JSON object")
+    valid = {spec_field.name for spec_field in
+             spec_cls.__dataclass_fields__.values()}
+    unknown = sorted(set(data) - valid)
+    if unknown:
+        raise ValueError(
+            f"{context}: unknown field(s) {unknown}; valid fields are "
+            f"{sorted(valid)}")
+    try:
+        return spec_cls(**data)
+    except TypeError as error:  # missing required field, wrong shape
+        raise ValueError(f"{context}: {error}") from error
+    except ValueError as error:
+        raise ValueError(f"{context}: {error}") from error
 
 
 # --------------------------------------------------------------------------- #
@@ -461,6 +618,10 @@ class TenantReport:
     latency_p99_ms: float
     latency_mean_ms: float
     predicted_wait_ms_mean: float
+    deadline_shed: int = 0
+    retries: int = 0
+    hedges: int = 0
+    budget_denied: int = 0
 
 
 @dataclass
@@ -483,6 +644,9 @@ class ScenarioReport:
     tenants: list = field(default_factory=list)
     chaos_events: list = field(default_factory=list)
     watchdog_restarts: int = 0
+    retries: int = 0
+    hedges: int = 0
+    deadline_shed: int = 0
 
     def ok(self):
         """The chaos invariants: every future resolved exactly once, and a
@@ -517,8 +681,8 @@ class _TenantState:
 
     __slots__ = ("offered", "submitted", "completed", "degraded", "shed",
                  "admission_rejected", "infra_failures", "graceful_rejections",
-                 "decoder_crashes", "deadline_misses", "latencies_s",
-                 "predicted_waits_ms")
+                 "decoder_crashes", "deadline_misses", "deadline_shed",
+                 "latencies_s", "predicted_waits_ms")
 
     def __init__(self):
         self.offered = 0
@@ -531,6 +695,7 @@ class _TenantState:
         self.graceful_rejections = 0
         self.decoder_crashes = 0
         self.deadline_misses = 0
+        self.deadline_shed = 0
         self.latencies_s = []
         self.predicted_waits_ms = []
 
@@ -570,8 +735,19 @@ class ScenarioRunner:
         self._sampler = None
         self._sampler_stop = threading.Event()
         self._last_totals = None  # sampler-thread private
-        self._submission_ids = itertools.count()  # only run() allocates
+        self._submission_ids = itertools.count()  # thread-safe allocator (CPython)
         self._driver_events = []  # final after ChaosDriver.stop()
+        # one ResilientClient per tenant: retries and hedges stay attributed
+        # to the tenant that caused them, and each tenant gets its own retry
+        # budget (a batch tenant's retries can't starve a premium tenant's)
+        self._clients = {}
+        spec = scenario.resilience
+        if spec is not None and spec.enabled:
+            for tenant in scenario.tenants:
+                self._clients[tenant.name] = ResilientClient(
+                    server, retry_policy=spec.policy(),
+                    hedge_after_ms=spec.hedge_after_ms,
+                    seed=zlib.crc32(tenant.name.encode()))
 
     # ------------------------------------------------------------------ #
     # admission estimate
@@ -598,17 +774,35 @@ class ScenarioRunner:
         while not self._sampler_stop.wait(self.SAMPLE_INTERVAL_S):
             self._sample_once()
 
-    def _predict_response_ms_locked(self, now):
+    def _predict_response_ms_locked(self, now, package=None, kind="reconstruct"):
         """Predicted response time for an arrival admitted right now.
 
-        M/D/c wait at the recent admitted-arrival rate and the sampled
-        per-image service time, plus the service time itself.  NaN until the
-        first service-time sample lands (admission then accepts — predicting
-        from nothing would shed traffic a cold pool could actually serve).
+        Against a sharded server this asks the router where *this* package
+        would land (:meth:`~repro.serve.sharding.ShardedCompressionServer.
+        predicted_shard_depth`) and predicts from that shard's own in-flight
+        depth — with consistent routing one hot key can stack a single
+        shard's window while the pool average looks idle, and a pool-level
+        estimate would admit straight into the hot shard's queue.  Servers
+        without per-shard introspection (the threaded server) fall back to
+        the pool-aggregate M/D/c wait at the recent admitted-arrival rate.
+        NaN until the first service-time sample lands (admission then
+        accepts — predicting from nothing would shed traffic a cold pool
+        could actually serve).
         """
         service_ms = self._service_time_ms
         if not np.isfinite(service_ms) or service_ms <= 0:
             return float("nan")
+        predictor = getattr(self.server, "predicted_shard_depth", None)
+        if predictor is not None and package is not None:
+            # lock order: runner._lock (held here) -> server._lock inside the
+            # predictor; the server never calls back into the runner, so the
+            # order is acyclic
+            shard_index, depth = predictor(package, kind)
+            if shard_index is not None:
+                # the routed shard drains its window roughly one service time
+                # per request (workers_per_shard defaults to 1; batching only
+                # makes this estimate conservative)
+                return (depth + 1) * service_ms
         cutoff = now - self.RATE_WINDOW_S
         while self._recent_arrivals and self._recent_arrivals[0] < cutoff:
             self._recent_arrivals.popleft()
@@ -622,7 +816,12 @@ class ScenarioRunner:
     # submission plumbing
     # ------------------------------------------------------------------ #
     def _classify_locked(self, state, error):
-        if isinstance(error, INFRA_ERRORS):
+        # deadline sheds first: DeadlineExceededError is a RuntimeError and
+        # must never be mistaken for a decoder crash — a shed is the server
+        # *correctly* dropping work the client stopped waiting for
+        if isinstance(error, DeadlineExceededError):
+            state.deadline_shed += 1
+        elif isinstance(error, INFRA_ERRORS):
             state.infra_failures += 1
         elif isinstance(error, GRACEFUL_ERRORS):
             state.graceful_rejections += 1
@@ -648,13 +847,24 @@ class ScenarioRunner:
         return _on_done
 
     def _submit_one(self, tenant, package, submission_id):
-        """Submit under exactly-once accounting; returns the future or None."""
+        """Submit under exactly-once accounting; returns the future or None.
+
+        Tenants of a resilient scenario submit through their own
+        :class:`ResilientClient` (which never raises synchronously — even an
+        immediate admission rejection settles through the future, after the
+        retry policy has had its say); everyone else goes straight to
+        ``server.submit``.
+        """
+        deadline_s = (deadline_after_ms(tenant.deadline_ms)
+                      if tenant.propagate_deadline else None)
+        submitter = self._clients.get(tenant.name) or self.server
         with self._lock:
             self._resolutions[submission_id] = 0
             self._tenants[tenant.name].submitted += 1
             self._recent_arrivals.append(time.monotonic())
         try:
-            pending = self.server.submit(package, kind=tenant.kind)
+            pending = submitter.submit(package, kind=tenant.kind,
+                                       deadline_s=deadline_s)
         except (ServerOverloadedError, QueueClosedError):
             with self._lock:
                 del self._resolutions[submission_id]
@@ -673,9 +883,12 @@ class ScenarioRunner:
 
     # ------------------------------------------------------------------ #
     def _build_timeline(self, rng):
-        """Merged (arrival_s, tenant, frame_index) schedule across tenants."""
+        """Merged (arrival_s, tenant, frame_index) schedule across open-loop
+        tenants (closed-loop tenants pace themselves, so they have no trace)."""
         timeline = []
         for tenant in self.scenario.tenants:
+            if tenant.closed_loop:
+                continue
             # crc32, not hash(): str hashing is salted per process and would
             # make the trace non-reproducible across runs
             tenant_rng = np.random.default_rng(
@@ -685,6 +898,42 @@ class ScenarioRunner:
                 timeline.append((float(at_s), tenant, frame_index))
         timeline.sort(key=lambda item: item[0])
         return timeline
+
+    def _closed_loop_clients(self, stop_event, pendings):
+        """Build the think-time clients for every closed-loop tenant."""
+        clients = []
+        for tenant in self.scenario.tenants:
+            if not tenant.closed_loop:
+                continue
+            for position in range(tenant.clients):
+                clients.append(self._spawn_loop_client(tenant, position,
+                                                       stop_event, pendings))
+        return clients
+
+    def _spawn_loop_client(self, tenant, position, stop_event, pendings):
+        def do_request(client):
+            with self._lock:
+                self._tenants[tenant.name].offered += 1
+            package = self.workload.package_for(tenant, client.requests)
+            pending = self._submit_one(tenant, package,
+                                       next(self._submission_ids))
+            if pending is None:
+                return False  # admission rejected synchronously: back off
+            # CPython list.append is atomic; the drain loop reads only after
+            # every client thread has been joined
+            pendings.append(pending)
+            try:
+                pending.result(timeout=self.drain_timeout_s)
+            except INFRA_ERRORS:
+                return False  # overload / crash / open circuit: back off
+            except Exception:  # noqa: BLE001 - graceful verdict or deadline shed: the server is healthy, keep pace
+                return True
+            return True
+
+        return ClosedLoopClient(do_request,
+                                think_time_s=tenant.think_time_ms * 1e-3,
+                                stop_event=stop_event,
+                                name=f"closed-loop-{tenant.name}-{position}")
 
     def _warmup(self):
         """One request per tenant outside the clock: caches + a service sample."""
@@ -715,14 +964,20 @@ class ScenarioRunner:
         started = time.monotonic()
         driver.start(started)
         pendings = []
+        loop_stop = threading.Event()
+        loop_clients = self._closed_loop_clients(loop_stop, pendings)
+        for client in loop_clients:
+            client.start()
         try:
             for at_s, tenant, frame_index in timeline:
                 delay = at_s - (time.monotonic() - started)
                 if delay > 0:
                     time.sleep(delay)
                 now = time.monotonic()
+                package = self.workload.package_for(tenant, frame_index)
                 with self._lock:
-                    predicted_ms = self._predict_response_ms_locked(now)
+                    predicted_ms = self._predict_response_ms_locked(
+                        now, package=package, kind=tenant.kind)
                     state = self._tenants[tenant.name]
                     state.predicted_waits_ms.append(predicted_ms)
                 degraded = False
@@ -733,8 +988,8 @@ class ScenarioRunner:
                     continue
                 if breach and tenant.on_breach == "degrade":
                     degraded = True
-                package = self.workload.package_for(tenant, frame_index,
-                                                    degraded=degraded)
+                    package = self.workload.package_for(tenant, frame_index,
+                                                        degraded=True)
                 if (self.scenario.chaos.corrupt_fraction > 0
                         and corrupt_rng.random() < self.scenario.chaos.corrupt_fraction):
                     package = corrupt_package(package, injector)
@@ -745,7 +1000,16 @@ class ScenarioRunner:
                     if degraded:
                         with self._lock:
                             state.degraded += 1
+            if loop_clients:
+                # closed-loop tenants keep going for the full scenario window
+                # even after the open-loop trace (possibly empty) runs out
+                remaining = self.scenario.duration_s - (time.monotonic() - started)
+                if remaining > 0:
+                    time.sleep(remaining)
         finally:
+            loop_stop.set()
+            for client in loop_clients:
+                client.join(timeout=self.drain_timeout_s)
             driver.stop()
             self._driver_events = list(driver.events)
             self._sampler_stop.set()
@@ -766,6 +1030,8 @@ class ScenarioRunner:
         # later; give callbacks one scheduling beat before reading counters
         if unresolved:
             time.sleep(0.2)
+        for client in self._clients.values():
+            client.close()  # cancel any backoff/hedge timers still armed
         return self._render_report(elapsed)
 
     # ------------------------------------------------------------------ #
@@ -775,6 +1041,8 @@ class ScenarioRunner:
             snapshot = self.server.stats.snapshot()
         except Exception:  # noqa: BLE001 - report what the run measured anyway
             snapshot = {}
+        client_stats = {name: client.stats()
+                        for name, client in self._clients.items()}
         with self._lock:
             lost = sum(1 for count in self._resolutions.values() if count == 0)
             duplicated = sum(1 for count in self._resolutions.values() if count > 1)
@@ -782,12 +1050,14 @@ class ScenarioRunner:
             tenants = []
             for tenant in self.scenario.tenants:
                 state = self._tenants[tenant.name]
+                resilience = client_stats.get(tenant.name, {})
                 latency = summarise_latency_ms(state.latencies_s)
                 finite_predictions = [p for p in state.predicted_waits_ms
                                       if np.isfinite(p)]
                 missed = (state.deadline_misses + state.shed
                           + state.admission_rejected + state.infra_failures
-                          + state.graceful_rejections + state.decoder_crashes)
+                          + state.graceful_rejections + state.decoder_crashes
+                          + state.deadline_shed)
                 tenants.append(TenantReport(
                     name=tenant.name,
                     qos=tenant.qos,
@@ -809,6 +1079,10 @@ class ScenarioRunner:
                     latency_mean_ms=latency["mean_ms"],
                     predicted_wait_ms_mean=(float(np.mean(finite_predictions))
                                             if finite_predictions else float("nan")),
+                    deadline_shed=state.deadline_shed,
+                    retries=int(resilience.get("retries", 0)),
+                    hedges=int(resilience.get("hedges", 0)),
+                    budget_denied=int(resilience.get("budget_denied", 0)),
                 ))
         offered = sum(report.offered for report in tenants)
         submitted = sum(report.submitted for report in tenants)
@@ -816,8 +1090,19 @@ class ScenarioRunner:
         crashes = sum(report.decoder_crashes for report in tenants)
         utilisation = float("nan")
         if np.isfinite(service_ms) and elapsed > 0:
+            # submission-based by design: work the pool had to *refuse* still
+            # counts toward pressure, so a retry storm that floods admission
+            # reads as >1 (saturated) even though completions stayed flat
             utilisation = (submitted / elapsed) * (service_ms / 1e3) / self.servers
-        saturated = bool(np.isfinite(utilisation) and utilisation >= 1.0) or (
+        # utilisation >= 1 only condemns *open-loop* traffic: an open-loop
+        # tenant keeps offering at its configured rate regardless of service,
+        # so >= 1 means the backlog (and every latency number) is unbounded.
+        # Closed-loop tenants self-limit — each client waits for its response
+        # before thinking again — so a fully-busy pool is their equilibrium
+        # and the per-request latencies stay meaningful.
+        open_loop = any(not tenant.closed_loop for tenant in self.scenario.tenants)
+        saturated = (open_loop
+                     and bool(np.isfinite(utilisation) and utilisation >= 1.0)) or (
             submitted == 0 and offered > 0)
         watchdog = snapshot.get("watchdog", {}) if isinstance(snapshot, dict) else {}
         restarts = watchdog.get("restarts_total", 0) if isinstance(watchdog, dict) else 0
@@ -838,6 +1123,9 @@ class ScenarioRunner:
             tenants=tenants,
             chaos_events=list(self._driver_events),
             watchdog_restarts=int(restarts),
+            retries=sum(report.retries for report in tenants),
+            hedges=sum(report.hedges for report in tenants),
+            deadline_shed=sum(report.deadline_shed for report in tenants),
         )
 
 
@@ -972,6 +1260,67 @@ def builtin_scenarios():
                             corrupt_bit_flips=64, exhaust_shm_at_s=(8.0,),
                             exhaust_shm_duration_s=1.0, seed=73),
             server_hints=chaos_watchdog_hints,
+        ),
+        ScenarioSpec(
+            name="retry-storm",
+            description="Closed-loop clients hammer a deliberately shallow "
+                        "admission queue with retries enabled: the retry "
+                        "budget must cap the amplification so rejected work "
+                        "cannot snowball into a metastable storm.",
+            tenants=(
+                TenantSpec(name="storm-fleet", rate_rps=10.0, qos="standard",
+                           deadline_ms=800.0, on_breach="accept",
+                           closed_loop=True, clients=4, think_time_ms=5.0,
+                           image_size=96, seed=81),
+                TenantSpec(name="steady-fleet", rate_rps=6.0, qos="premium",
+                           deadline_ms=800.0, on_breach="accept",
+                           closed_loop=True, clients=2, think_time_ms=20.0,
+                           image_size=96, seed=82),
+            ),
+            duration_s=6.0,
+            resilience=ResilienceSpec(max_attempts=4, base_backoff_ms=10.0,
+                                      max_backoff_ms=150.0, budget_ratio=0.1,
+                                      budget_burst=10.0),
+            # depth 2 against 6 closed-loop clients: admission *must* reject
+            # under collision, or the storm never forms and there is nothing
+            # for the retry budget to cap
+            server_hints=(("queue_depth", 2),),
+        ),
+        ScenarioSpec(
+            name="metastable-recovery",
+            description="A shard dies mid-run while closed-loop retrying "
+                        "clients keep offering load: budgeted retries plus "
+                        "the per-shard circuit breaker must ride out the "
+                        "restart with zero client-visible infra failures.",
+            tenants=(
+                TenantSpec(name="loop-fleet", rate_rps=10.0, qos="standard",
+                           deadline_ms=1200.0, on_breach="accept",
+                           closed_loop=True, clients=4, think_time_ms=50.0,
+                           image_size=96, seed=91),
+                premium,
+            ),
+            duration_s=8.0,
+            chaos=ChaosSpec(kill_shard_at_s=(3.0,), seed=92),
+            resilience=ResilienceSpec(max_attempts=4, base_backoff_ms=20.0,
+                                      max_backoff_ms=250.0, budget_ratio=0.2,
+                                      budget_burst=10.0),
+            server_hints=chaos_watchdog_hints,
+        ),
+        ScenarioSpec(
+            name="oversized-response",
+            description="Every response outgrows the 4KB shm slots outright: "
+                        "the ring must be bypassed for the queue fallback on "
+                        "each reply, with nothing lost or doubled.",
+            tenants=(
+                TenantSpec(name="wide-frames", rate_rps=14.0, deadline_ms=800.0,
+                           on_breach="accept", image_size=96, seed=64),
+                TenantSpec(name="wide-decode", rate_rps=8.0, deadline_ms=1200.0,
+                           on_breach="accept", image_size=96, kind="decode",
+                           seed=65),
+            ),
+            duration_s=6.0,
+            server_hints=(("shm_slots", 4), ("shm_slot_bytes", 1 << 12),
+                          ("queue_depth", 128)),
         ),
     ]
     return {scenario.name: scenario for scenario in scenarios}

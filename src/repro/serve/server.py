@@ -36,7 +36,8 @@ from ..core.reconstruction import EaszReconstructor
 from ..core.transport import unpack_package
 from .batcher import BatchPolicy, MicroBatcher
 from .cache import ResultCache
-from .queueing import AdmissionQueue, QueueClosedError
+from .queueing import (AdmissionQueue, DeadlineExceededError, QueueClosedError,
+                       deadline_expired)
 from .telemetry import ServerStats
 from .worker import ServeWorker
 
@@ -153,7 +154,15 @@ def try_resolve_from_result_cache(result_cache, stats, package, kind, pending):
 
 @dataclass
 class ServeRequest:
-    """One queued unit of work (a transport package plus its future)."""
+    """One queued unit of work (a transport package plus its future).
+
+    ``deadline_s`` is an absolute ``time.monotonic`` stamp (or ``None`` for
+    no deadline).  Every stage of the pipeline that is about to spend real
+    work on the request — batcher pop, worker pre-decode, shard-side
+    pre-unpack — checks it first and sheds the request with a
+    :class:`DeadlineExceededError` instead of computing an answer nobody is
+    waiting for.
+    """
 
     request_id: int
     package: EaszCompressed
@@ -161,6 +170,7 @@ class ServeRequest:
     submitted_at: float
     pending: PendingResult
     cache_key: bytes = None
+    deadline_s: float = None
 
     @property
     def batch_key(self):
@@ -231,7 +241,8 @@ class CompressionServer:
         self.stats = ServerStats()
         self.result_cache = ResultCache(result_cache_size)
         self.queue = AdmissionQueue(max_depth=queue_depth, policy=admission_policy)
-        self.batcher = MicroBatcher(self.queue, policy=batch_policy or BatchPolicy())
+        self.batcher = MicroBatcher(self.queue, policy=batch_policy or BatchPolicy(),
+                                    on_expired=self._shed_expired)
         self.workers = [ServeWorker(self, index) for index in range(max(1, num_workers))]
         self.stopping = False
         self._started = False
@@ -281,18 +292,30 @@ class CompressionServer:
     # ------------------------------------------------------------------ #
     # submission API
     # ------------------------------------------------------------------ #
-    def submit(self, package, kind="reconstruct"):
+    def submit(self, package, kind="reconstruct", deadline_s=None):
         """Queue one :class:`EaszCompressed` package; returns a future.
 
         Raises :class:`repro.serve.queueing.ServerOverloadedError` when the
         admission queue denies the request (backpressure), so edge callers
         can drop or re-route the frame instead of stacking latency.
+
+        ``deadline_s`` is an absolute ``time.monotonic`` deadline (see
+        :func:`repro.serve.queueing.deadline_after_ms`).  A request whose
+        deadline has already passed is shed immediately: its future is
+        rejected with :class:`DeadlineExceededError` (never raised
+        synchronously, preserving exactly-once settlement) and the shed is
+        counted in telemetry.
         """
         if kind not in ("reconstruct", "decode"):
             raise ValueError("kind must be 'reconstruct' or 'decode'")
         if not self._started:
             raise RuntimeError("server not started; use start() or a with-block")
         pending = PendingResult(next(self._ids))
+        if deadline_expired(deadline_s):
+            self.stats.record_deadline_shed()
+            pending._reject(DeadlineExceededError(
+                f"request {pending.request_id} expired before admission"))
+            return pending
         cache_key, hit = try_resolve_from_result_cache(
             self.result_cache, self.stats, package, kind, pending)
         if hit:
@@ -304,6 +327,7 @@ class CompressionServer:
             submitted_at=time.perf_counter(),
             pending=pending,
             cache_key=cache_key,
+            deadline_s=deadline_s,
         )
         try:
             depth = self.queue.put(request)
@@ -314,9 +338,31 @@ class CompressionServer:
         self.stats.record_queue_depth(depth)
         return pending
 
-    def submit_bytes(self, data, kind="reconstruct"):
+    def submit_bytes(self, data, kind="reconstruct", deadline_s=None):
         """Unpack a wire container (``EASZ`` magic) and queue it."""
-        return self.submit(unpack_package(data), kind=kind)
+        return self.submit(unpack_package(data), kind=kind, deadline_s=deadline_s)
+
+    # ------------------------------------------------------------------ #
+    # deadline shedding
+    # ------------------------------------------------------------------ #
+    def _shed_expired(self, request):
+        """Reject an already-expired queued request (batcher ``on_expired`` hook)."""
+        self.stats.record_deadline_shed()
+        request.reject(DeadlineExceededError(
+            f"request {request.request_id} expired while queued"))
+
+    def shed_if_expired(self, request):
+        """Shed ``request`` if its deadline passed; True when it was shed.
+
+        Workers call this per batch member just before the entropy decode —
+        the last cheap moment to notice the caller has already given up.
+        """
+        if not deadline_expired(request.deadline_s):
+            return False
+        self.stats.record_deadline_shed()
+        request.reject(DeadlineExceededError(
+            f"request {request.request_id} expired before decode"))
+        return True
 
     def current_depth(self):
         """Requests currently queued (admission-control observability).

@@ -67,7 +67,8 @@ from ..core.reconstruction import EaszReconstructor
 from ..core.transport import pack_package, pixels_from_buffer, unpack_package
 from .batcher import BatchPolicy
 from .cache import ResultCache
-from .queueing import QueueClosedError, ServerOverloadedError
+from .queueing import (DeadlineExceededError, QueueClosedError,
+                       ServerOverloadedError, deadline_expired)
 from .server import (CompressionServer, PendingResult, ServeResponse,
                      try_resolve_from_result_cache)
 from .shm import ShmRing, shm_available
@@ -117,6 +118,8 @@ def _rebuild_error(type_name, message):
         return ServerOverloadedError(message)
     if type_name == "QueueClosedError":
         return QueueClosedError(message)
+    if type_name == "DeadlineExceededError":
+        return DeadlineExceededError(message)
     candidate = getattr(builtins, type_name, None)
     if isinstance(candidate, type) and issubclass(candidate, Exception):
         try:
@@ -134,7 +137,9 @@ def _shard_main(shard_index, request_queue, response_queue, control_conn,
     Rebuilds the model from the shipped ``state_dict`` (start-method agnostic:
     works under ``fork`` and ``spawn`` alike), hosts a full threaded
     :class:`CompressionServer`, and bridges it to the parent: requests arrive
-    as ``("req", id, kind, container_bytes)`` tuples on ``request_queue``,
+    as ``("req", id, kind, container_bytes, deadline_s)`` tuples on
+    ``request_queue`` (``deadline_s`` an absolute CLOCK_MONOTONIC stamp or
+    ``None``, checked *before* the container is unpacked),
     finished pixels leave either through the shared-memory ring (a tiny
     ``("shm", ...)`` lease descriptor on ``response_queue``) or as raw
     buffers in ``("ok", ...)`` queue messages, and the control pipe answers
@@ -235,7 +240,17 @@ def _shard_main(shard_index, request_queue, response_queue, control_conn,
             if message[0] == "stop":
                 stopping = True
                 continue
-            _, request_id, kind, blob = message
+            _, request_id, kind, blob, deadline_s = message
+            # deadlines ride the wire as absolute CLOCK_MONOTONIC stamps, so
+            # this is the cheapest possible shed point on the shard: before
+            # the container even gets unpacked
+            if deadline_expired(deadline_s):
+                server.stats.record_deadline_shed()
+                response_queue.put(("err", shard_index, request_id,
+                                    "DeadlineExceededError",
+                                    f"request {request_id} expired before the "
+                                    f"shard unpacked it"))
+                continue
             try:
                 package = unpack_package(blob)
             except Exception as error:  # noqa: BLE001 - bad wire bytes
@@ -247,7 +262,7 @@ def _shard_main(shard_index, request_queue, response_queue, control_conn,
             with inflight_lock:
                 inflight[0] += 1
             try:
-                pending = server.submit(package, kind=kind)
+                pending = server.submit(package, kind=kind, deadline_s=deadline_s)
             except Exception as error:  # noqa: BLE001 - admission/shutdown
                 with inflight_lock:
                     inflight[0] -= 1
@@ -290,15 +305,17 @@ class _PendingEntry:
     """
 
     __slots__ = ("pending", "shard", "cache_key", "submitted_at", "kind",
-                 "blob", "redispatched")
+                 "blob", "deadline_s", "redispatched")
 
-    def __init__(self, pending, shard, cache_key, submitted_at, kind, blob):
+    def __init__(self, pending, shard, cache_key, submitted_at, kind, blob,
+                 deadline_s=None):
         self.pending = pending
         self.shard = shard
         self.cache_key = cache_key
         self.submitted_at = submitted_at
         self.kind = kind
         self.blob = blob
+        self.deadline_s = deadline_s
         self.redispatched = False
 
 
@@ -370,7 +387,8 @@ class ShardedCompressionServer:
                  startup_timeout=120.0, spill_threshold=None, use_shm=True,
                  shm_slots=None, shm_slot_bytes=None, watchdog_interval_s=None,
                  watchdog_backoff_s=0.5, watchdog_backoff_cap_s=30.0,
-                 watchdog_hang_timeout_s="auto", affinity="auto"):
+                 watchdog_hang_timeout_s="auto", affinity="auto",
+                 circuit_breakers=True, breaker_open_duration_s=1.0):
         if num_shards < 1:
             raise ValueError("num_shards must be at least 1")
         if admission_policy not in ("reject", "block"):
@@ -453,6 +471,18 @@ class ShardedCompressionServer:
         self._watchdog_last_restart = [None] * self.num_shards  # guarded-by: _lock
         self._mask_geometries = {}  # guarded-by: _lock — mask bytes -> set of observed geometries
         self._mask_geometries_max = 1024
+        # per-shard circuit breakers (import deferred: resilience imports
+        # ShardFailedError from this module).  Each breaker has its own leaf
+        # lock; routing consults them while holding self._lock, so the only
+        # cross-module order is _lock -> breaker lock, never the reverse.
+        if not breaker_open_duration_s > 0:
+            raise ValueError("breaker_open_duration_s must be positive")
+        if circuit_breakers:
+            from .resilience import CircuitBreaker
+            self._breakers = [CircuitBreaker(open_duration_s=breaker_open_duration_s)
+                              for _ in range(self.num_shards)]
+        else:
+            self._breakers = None
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -705,31 +735,45 @@ class ShardedCompressionServer:
         hasher.update(key[1])
         return int.from_bytes(hasher.digest(), "big") % self.num_shards
 
+    def _breaker_allows(self, index):
+        """Whether shard ``index``'s circuit breaker admits a request now."""
+        return self._breakers is None or self._breakers[index].allow()
+
     def _route_locked(self, key):
         """Pick a shard (caller holds the lock): sticky unless overloaded.
 
         The preferred shard keeps its caches hot for this key; once it has a
         full batch of work in flight (``spill_threshold``), the least-loaded
         live shard takes the overflow so one hot key saturates the whole pool
-        instead of one process.
+        instead of one process.  A shard whose circuit breaker is open is
+        treated exactly like an overloaded one — its traffic spills to the
+        least-loaded live shard whose breaker admits work — unless *every*
+        breaker is open, in which case the breakers are ignored (half of the
+        pool guessing wrong must degrade to plain routing, not to an outage).
         """
         preferred = self._preferred_shard(key, mask_only=self._mask_affine_locked(key))
         if (self._shards[preferred].accepts_work()
-                and self._inflight[preferred] < self.spill_threshold):
+                and self._inflight[preferred] < self.spill_threshold
+                and self._breaker_allows(preferred)):
             return preferred
         candidates = [shard.index for shard in self._shards if shard.accepts_work()]
         if not candidates:
             raise ShardFailedError("no live shards")
-        return min(candidates,
+        trusted = [index for index in candidates if self._breaker_allows(index)]
+        return min(trusted or candidates,
                    key=lambda index: (self._inflight[index], index != preferred))
 
-    def submit(self, package, kind="reconstruct"):
+    def submit(self, package, kind="reconstruct", deadline_s=None):
         """Queue one :class:`EaszCompressed` package on a shard; returns a future.
 
         Admission control runs in the parent: with the ``"reject"`` policy a
         full per-shard window raises :class:`ServerOverloadedError`
         synchronously (as the threaded server does), with ``"block"`` the call
         waits up to ``put_timeout`` for in-flight work to drain.
+
+        ``deadline_s`` (absolute ``time.monotonic``) crosses the wire with
+        the request: an already-expired request is shed here without paying
+        for ``pack_package``, and the shard re-checks before unpacking.
         """
         if kind not in ("reconstruct", "decode"):
             raise ValueError("kind must be 'reconstruct' or 'decode'")
@@ -738,6 +782,11 @@ class ShardedCompressionServer:
         if not self._started:
             raise RuntimeError("server not started; use start() or a with-block")
         pending = PendingResult(next(self._ids))
+        if deadline_expired(deadline_s):
+            self.local_stats.record_deadline_shed()
+            pending._reject(DeadlineExceededError(
+                f"request {pending.request_id} expired before admission"))
+            return pending
         cache_key, hit = try_resolve_from_result_cache(
             self.result_cache, self.local_stats, package, kind, pending)
         if hit:
@@ -784,11 +833,12 @@ class ShardedCompressionServer:
             raise
         with self._lock:
             self._pending[pending.request_id] = _PendingEntry(
-                pending, shard_index, cache_key, time.perf_counter(), kind, blob)
+                pending, shard_index, cache_key, time.perf_counter(), kind, blob,
+                deadline_s=deadline_s)
             queue_depth = sum(self._inflight)
         try:
             self._shards[shard_index].request_queue.put(
-                ("req", pending.request_id, kind, blob))
+                ("req", pending.request_id, kind, blob, deadline_s))
         except Exception:
             with self._lock:
                 if self._pending.pop(pending.request_id, None) is not None:
@@ -813,14 +863,32 @@ class ShardedCompressionServer:
                     f"shard {shard_index} died during submission"))
         return pending
 
-    def submit_bytes(self, data, kind="reconstruct"):
+    def submit_bytes(self, data, kind="reconstruct", deadline_s=None):
         """Unpack a wire container (``EASZ`` magic) and queue it."""
-        return self.submit(unpack_package(data), kind=kind)
+        return self.submit(unpack_package(data), kind=kind, deadline_s=deadline_s)
 
     def current_depth(self):
         """Total in-flight requests across all shards (admission observability)."""
         with self._lock:
             return sum(self._inflight)
+
+    def predicted_shard_depth(self, package, kind="reconstruct"):
+        """``(shard_index, inflight)`` the router would pick for this package.
+
+        Deadline-aware admission (:mod:`repro.serve.scenarios`) calls this to
+        base its breach prediction on the *routed shard's* queue rather than
+        the pool aggregate — with consistent routing a single hot key can
+        stack one shard's window while the pool average looks idle.  Purely
+        observational: no geometry tracking, no counters move.  When no live
+        shard can be routed the pool total is returned under ``(None, ...)``.
+        """
+        key = self._batch_key(package, kind)
+        with self._lock:
+            try:
+                shard_index = self._route_locked(key)
+            except ShardFailedError:
+                return None, sum(self._inflight)
+            return shard_index, self._inflight[shard_index]
 
     # ------------------------------------------------------------------ #
     # chaos-harness introspection
@@ -906,6 +974,10 @@ class ShardedCompressionServer:
                 self._not_full.notify_all()
             # mark so the sweep (and telemetry) treats the handle as retired
             shard.stopped_snapshot = {}
+            if self._breakers is not None:
+                # a dead process is hard evidence — no need to wait for the
+                # failure EWMA; routing stops trusting the slot immediately
+                self._breakers[shard.index].trip()
             if self._shm_ring is not None:
                 # free ring slots the dead shard still leased; any of its
                 # responses still queued become stale (seq-bumped) and are
@@ -941,7 +1013,8 @@ class ShardedCompressionServer:
                 self._inflight[target] += 1
                 self._pending[entry.pending.request_id] = entry
             self._shards[target].request_queue.put(
-                ("req", entry.pending.request_id, entry.kind, entry.blob))
+                ("req", entry.pending.request_id, entry.kind, entry.blob,
+                 entry.deadline_s))
             return True
         except Exception:  # noqa: BLE001 - fall back to failing the future
             with self._lock:
@@ -1003,6 +1076,8 @@ class ShardedCompressionServer:
                 if image is None:
                     # stale lease: the pixels are unreachable; treat like a
                     # crashed shard so the caller is re-routed or failed
+                    if self._breakers is not None:
+                        self._breakers[shard_index].record_failure()
                     if not self._redispatch(entry):
                         self.local_stats.record_failure(1)
                         entry.pending._reject(ShardFailedError(
@@ -1023,6 +1098,9 @@ class ShardedCompressionServer:
                     # (lookup() still copies on every hit)
                     self.result_cache.put(entry.cache_key, view, copy=False)
                 response_image = view.copy()
+            if self._breakers is not None:
+                # outside self._lock by design: breaker locks are leaves
+                self._breakers[shard_index].record_success()
             self.local_stats.record_response_transport(
                 "shm" if tag == "shm" else "queue")
             entry.pending._resolve(ServeResponse(
@@ -1136,6 +1214,11 @@ class ShardedCompressionServer:
             replacement.process.join(timeout=1.0)
             raise RuntimeError("server stopped during shard restart")
         self._shards[index] = replacement
+        if self._breakers is not None:
+            # watchdog/restart coordination: the replacement process starts
+            # with a clean slate — an open breaker would shun a healthy shard
+            # for the rest of the open window
+            self._breakers[index].reset()
         return replacement
 
     # ------------------------------------------------------------------ #
@@ -1302,6 +1385,11 @@ class ShardedCompressionServer:
         merged["submitted"] = local["submitted"]
         merged["rejected"] = merged.get("rejected", 0) + local["rejected"]
         merged["failed"] = merged.get("failed", 0) + local["failed"]
+        # sheds happen on both sides of the wire: at the parent's admission
+        # point (expired before pack) and on the shards (expired in transit
+        # or while queued shard-side)
+        merged["deadline_shed"] = (merged.get("deadline_shed", 0)
+                                   + local["deadline_shed"])
         merged["completed_cached"] = local["completed_cached"]
         merged["result_cache"] = self.result_cache.stats()
         # the parent is the only observer of how responses crossed the
@@ -1313,6 +1401,9 @@ class ShardedCompressionServer:
         merged["shm"] = (self._shm_ring.stats() if self._shm_ring is not None
                          else {"enabled": False})
         merged["watchdog"] = self.watchdog_snapshot()
+        merged["circuit_breakers"] = (
+            [breaker.snapshot() for breaker in self._breakers]
+            if self._breakers is not None else {"enabled": False})
         with self._lock:
             merged["inflight"] = list(self._inflight)
         return merged

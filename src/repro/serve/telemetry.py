@@ -86,6 +86,7 @@ class ServerStats:
         self.queue_wait = LatencyWindow(latency_window)  # guarded-by: _lock
         self.service_time = LatencyWindow(latency_window)  # guarded-by: _lock
         self.completed_cached = 0  # guarded-by: _lock
+        self.deadline_shed = 0  # guarded-by: _lock
         self.result_cache_hits = 0  # guarded-by: _lock
         self.result_cache_misses = 0  # guarded-by: _lock
         self.response_transport = Counter()  # guarded-by: _lock
@@ -122,6 +123,17 @@ class ServerStats:
     def record_failure(self, count=1):
         with self._lock:
             self.failed += count
+
+    def record_deadline_shed(self, count=1):
+        """Requests dropped because their absolute deadline had already passed.
+
+        Sheds are deliberately *not* counted in ``failed``: a deadline shed is
+        the server doing the right thing (dropping work nobody is waiting
+        for), and mixing it into the failure counter would make a correctly
+        load-shedding server look broken in dashboards.
+        """
+        with self._lock:
+            self.deadline_shed += count
 
     def record_result_cache(self, hit):
         """One cross-request result-cache lookup.
@@ -182,6 +194,7 @@ class ServerStats:
                 "batch_size_histogram": dict(sorted(self.batch_sizes.items())),
                 "queue_depth_peak": self.queue_depth_peak,
                 "completed_cached": self.completed_cached,
+                "deadline_shed": self.deadline_shed,
                 "response_transport": dict(sorted(self.response_transport.items())),
                 "result_cache": {
                     "hits": self.result_cache_hits,
@@ -207,6 +220,7 @@ def aggregate_snapshots(snapshots, labels=None):
     if not snapshots:
         return {"shards": [], "completed": 0, "failed": 0, "submitted": 0,
                 "rejected": 0, "batches": 0, "completed_cached": 0,
+                "deadline_shed": 0,
                 "service_seconds_total": 0.0, "queue_wait_seconds_total": 0.0,
                 "batch_size_histogram": {}, "queue_depth_peak": 0,
                 "response_transport": {},
@@ -221,7 +235,7 @@ def aggregate_snapshots(snapshots, labels=None):
         "queue_depth_peak": max(snap.get("queue_depth_peak", 0) for snap in snapshots),
     }
     for key in ("submitted", "rejected", "completed", "failed", "batches",
-                "completed_cached"):
+                "completed_cached", "deadline_shed"):
         merged[key] = sum(snap.get(key, 0) for snap in snapshots)
     for key in ("service_seconds_total", "queue_wait_seconds_total",
                 "throughput_rps"):

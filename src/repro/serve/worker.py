@@ -80,6 +80,11 @@ class ServeWorker(threading.Thread):
 
     def _process_batch(self, batch):
         server = self._server
+        # last-chance deadline shed: the batch may have waited in the batcher
+        # window; drop anything already expired before paying for the decode
+        batch = [request for request in batch if not server.shed_if_expired(request)]
+        if not batch:
+            return
         started = time.perf_counter()
         cfg = server.config
         mask = deserialize_mask(batch[0].package.mask_bytes)

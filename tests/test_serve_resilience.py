@@ -1,0 +1,562 @@
+"""Tests for client-side resilience (``repro.serve.resilience``) and the
+end-to-end deadline-shedding path (queue → batcher → worker → shard)."""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import EaszConfig, EaszEncoder, EaszReconstructor
+from repro.serve import (
+    AdmissionQueue,
+    CircuitBreaker,
+    ClosedLoopClient,
+    CompressionServer,
+    DeadlineExceededError,
+    MicroBatcher,
+    QueueClosedError,
+    ResilientClient,
+    RetryBudget,
+    RetryPolicy,
+    ServerOverloadedError,
+    ShardedCompressionServer,
+    ShardFailedError,
+    deadline_after_ms,
+)
+from repro.serve.queueing import deadline_expired, deadline_remaining_s
+from repro.serve.server import PendingResult, ServeRequest
+from repro.serve.worker import ServeWorker
+
+
+@pytest.fixture(scope="module")
+def serve_config():
+    return EaszConfig(patch_size=16, subpatch_size=4, erase_per_row=1,
+                      d_model=32, num_heads=4, encoder_blocks=2, decoder_blocks=2,
+                      ffn_mult=2, loss_lambda=0.0)
+
+
+@pytest.fixture(scope="module")
+def serve_model(serve_config):
+    model = EaszReconstructor(serve_config)
+    model.eval()
+    return model
+
+
+@pytest.fixture(scope="module")
+def package(serve_config):
+    rng = np.random.default_rng(3)
+    encoder = EaszEncoder(serve_config, seed=0)
+    return encoder.encode(rng.random((32, 32, 3)), mask=encoder.generate_mask())
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = float(now)
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class FlakyServer:
+    """``submit()`` fails the first ``fail_first`` attempts, then succeeds.
+
+    ``sync_raise`` raises from ``submit`` itself (the admission-rejection
+    shape); otherwise the returned future is rejected asynchronously (the
+    shard-failure shape).  ``delay_s`` delays successful resolutions.
+    """
+
+    def __init__(self, fail_first=0, error_factory=None, sync_raise=False,
+                 delay_s=0.0):
+        self.fail_first = fail_first
+        self.error_factory = error_factory or (lambda: ShardFailedError("boom"))
+        self.sync_raise = sync_raise
+        self.delay_s = delay_s
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def submit(self, package, kind="reconstruct", deadline_s=None):
+        with self._lock:
+            self.calls += 1
+            call = self.calls
+        if call <= self.fail_first:
+            if self.sync_raise:
+                raise self.error_factory()
+            pending = PendingResult(call)
+            pending._reject(self.error_factory())
+            return pending
+        pending = PendingResult(call)
+        if self.delay_s > 0:
+            timer = threading.Timer(
+                self.delay_s, lambda: pending._resolve(f"response-{call}"))
+            timer.daemon = True
+            timer.start()
+        else:
+            pending._resolve(f"response-{call}")
+        return pending
+
+
+# --------------------------------------------------------------------------- #
+# retry budget + policy
+# --------------------------------------------------------------------------- #
+class TestRetryBudget:
+    def test_withdrawals_bounded_by_burst_plus_deposits(self):
+        budget = RetryBudget(ratio=0.5, burst=2.0)
+        assert budget.withdraw() and budget.withdraw()  # the initial burst
+        assert not budget.withdraw()                    # broke
+        budget.deposit(2)                               # 2 * 0.5 = 1 token
+        assert budget.withdraw()
+        assert not budget.withdraw()
+        snap = budget.snapshot()
+        assert snap["withdrawn"] == 3
+        assert snap["denied"] == 2
+        assert snap["deposited"] == 2
+
+    def test_tokens_cap_at_burst(self):
+        budget = RetryBudget(ratio=1.0, burst=3.0)
+        budget.deposit(100)
+        assert budget.snapshot()["tokens"] == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="ratio"):
+            RetryBudget(ratio=-0.1)
+        with pytest.raises(ValueError, match="burst"):
+            RetryBudget(burst=0.5)
+
+
+class TestRetryPolicy:
+    def test_infra_errors_retry_verdicts_do_not(self):
+        policy = RetryPolicy()
+        assert policy.retryable(ShardFailedError("x"))
+        assert policy.retryable(ServerOverloadedError("x"))
+        assert policy.retryable(TimeoutError("x"))
+        assert not policy.retryable(DeadlineExceededError("x"))
+        assert not policy.retryable(QueueClosedError("x"))
+        assert not policy.retryable(ValueError("corrupt payload"))
+
+    def test_backoff_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(base_backoff_s=0.01, max_backoff_s=0.05,
+                             jitter="none")
+        values = [policy.backoff_s(k, rng=None) for k in (1, 2, 3, 4, 5)]
+        assert values == [0.01, 0.02, 0.04, 0.05, 0.05]
+
+    def test_full_jitter_stays_inside_the_envelope(self):
+        import random
+        policy = RetryPolicy(base_backoff_s=0.01, max_backoff_s=0.05)
+        rng = random.Random(0)
+        for attempt in range(1, 6):
+            cap = min(0.01 * 2 ** (attempt - 1), 0.05)
+            for _ in range(20):
+                assert 0.0 <= policy.backoff_s(attempt, rng) <= cap
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="max_backoff_s"):
+            RetryPolicy(base_backoff_s=0.5, max_backoff_s=0.1)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter="decorrelated")
+        with pytest.raises(ValueError, match="budget"):
+            RetryPolicy(budget=0.1)
+
+
+# --------------------------------------------------------------------------- #
+# circuit breaker
+# --------------------------------------------------------------------------- #
+class TestCircuitBreaker:
+    def _breaker(self, clock, **kwargs):
+        defaults = dict(failure_threshold=0.5, ewma_alpha=0.5, min_samples=3,
+                        open_duration_s=1.0, clock=clock)
+        defaults.update(kwargs)
+        return CircuitBreaker(**defaults)
+
+    def test_opens_only_after_min_samples_of_failures(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED  # below min_samples
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+
+    def test_successes_hold_the_breaker_closed(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock, ewma_alpha=0.1)
+        # a 1-in-3 failure rate peaks the EWMA near 0.37, safely under the
+        # 0.5 threshold — mixed traffic must not open the breaker
+        for _ in range(50):
+            breaker.record_failure()
+            breaker.record_success()
+            breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+        assert breaker.snapshot()["failure_ewma"] < 0.5
+
+    def test_half_open_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(1.5)
+        assert breaker.allow()          # the single half-open probe
+        assert not breaker.allow()      # second concurrent probe refused
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+        assert breaker.snapshot()["failure_ewma"] == 0.0
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()      # open timer restarted
+        clock.advance(1.5)
+        assert breaker.allow()
+
+    def test_trip_and_reset(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        breaker.trip()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.snapshot()["failure_ewma"] == 1.0
+        breaker.reset()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+        assert breaker.snapshot()["opened_total"] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            CircuitBreaker(failure_threshold=0.0)
+        with pytest.raises(ValueError, match="open_duration_s"):
+            CircuitBreaker(open_duration_s=0.0)
+        with pytest.raises(ValueError, match="half_open_probes"):
+            CircuitBreaker(half_open_probes=0)
+
+
+# --------------------------------------------------------------------------- #
+# resilient client (against a fake server: pure client-side semantics)
+# --------------------------------------------------------------------------- #
+class TestResilientClient:
+    def _policy(self, **kwargs):
+        defaults = dict(max_attempts=3, base_backoff_s=0.001,
+                        max_backoff_s=0.002)
+        defaults.update(kwargs)
+        return RetryPolicy(**defaults)
+
+    def test_healthy_submit_passes_through(self):
+        server = FlakyServer()
+        client = ResilientClient(server, retry_policy=self._policy())
+        assert client.submit("pkg").result(timeout=1.0) == "response-1"
+        stats = client.stats()
+        assert stats["submitted"] == 1 and stats["retries"] == 0
+        assert server.calls == 1
+
+    def test_async_failure_retries_then_succeeds(self):
+        server = FlakyServer(fail_first=2)
+        client = ResilientClient(server, retry_policy=self._policy())
+        assert client.submit("pkg").result(timeout=2.0) == "response-3"
+        stats = client.stats()
+        assert stats["retries"] == 2
+        assert stats["retry_successes"] == 1
+        assert stats["failures"] == 0
+
+    def test_sync_rejection_enters_the_retry_path(self):
+        server = FlakyServer(fail_first=1, sync_raise=True,
+                             error_factory=lambda: ServerOverloadedError("full"))
+        client = ResilientClient(server, retry_policy=self._policy())
+        assert client.submit("pkg").result(timeout=2.0) == "response-2"
+        assert client.stats()["retries"] == 1
+
+    def test_permanent_error_never_retries(self):
+        server = FlakyServer(fail_first=5,
+                             error_factory=lambda: ValueError("corrupt"))
+        client = ResilientClient(server, retry_policy=self._policy())
+        with pytest.raises(ValueError):
+            client.submit("pkg").result(timeout=1.0)
+        assert server.calls == 1
+        assert client.stats()["failures"] == 1
+
+    def test_attempt_cap_surfaces_the_last_error(self):
+        server = FlakyServer(fail_first=10)
+        client = ResilientClient(server,
+                                 retry_policy=self._policy(max_attempts=2))
+        with pytest.raises(ShardFailedError):
+            client.submit("pkg").result(timeout=2.0)
+        assert server.calls == 2
+        stats = client.stats()
+        assert stats["retries"] == 1 and stats["failures"] == 1
+
+    def test_broke_budget_denies_the_retry(self):
+        budget = RetryBudget(ratio=0.0, burst=1.0)
+        server = FlakyServer(fail_first=10)
+        client = ResilientClient(
+            server, retry_policy=self._policy(max_attempts=4, budget=budget))
+        with pytest.raises(ShardFailedError):
+            client.submit("pkg").result(timeout=2.0)
+        # one token of burst bought one retry; the second was denied
+        assert server.calls == 2
+        stats = client.stats()
+        assert stats["retries"] == 1 and stats["budget_denied"] == 1
+
+    def test_expired_deadline_stops_retrying(self):
+        server = FlakyServer(fail_first=10)
+        client = ResilientClient(server, retry_policy=self._policy())
+        pending = client.submit("pkg", deadline_s=time.monotonic() - 1.0)
+        with pytest.raises(ShardFailedError):
+            pending.result(timeout=1.0)
+        assert server.calls == 1  # retrying past the deadline is pure waste
+
+    def test_hedge_wins_and_loser_is_absorbed(self):
+        # first attempt resolves slowly; the hedge (second call) is instant
+        server = FlakyServer(delay_s=0.4)
+        original_submit = server.submit
+        def submit(package, kind="reconstruct", deadline_s=None):
+            if server.calls >= 1:
+                server.delay_s = 0.0
+            return original_submit(package, kind=kind, deadline_s=deadline_s)
+        server.submit = submit
+        client = ResilientClient(server, retry_policy=self._policy(),
+                                 hedge_after_ms=30.0)
+        resolutions = []
+        pending = client.submit("pkg")
+        pending.add_done_callback(lambda p: resolutions.append(p))
+        assert pending.result(timeout=2.0) == "response-2"
+        stats = client.stats()
+        assert stats["hedges"] == 1 and stats["hedge_wins"] == 1
+        time.sleep(0.6)  # let the slow original resolve and be absorbed
+        assert len(resolutions) == 1
+        assert server.calls == 2
+
+    def test_hedge_draws_from_the_budget(self):
+        budget = RetryBudget(ratio=0.0, burst=1.0)
+        assert budget.withdraw()  # drain it: the hedge must be refused
+        server = FlakyServer(delay_s=0.2)
+        client = ResilientClient(
+            server, retry_policy=self._policy(budget=budget),
+            hedge_after_ms=20.0)
+        assert client.submit("pkg").result(timeout=2.0) == "response-1"
+        stats = client.stats()
+        assert stats["hedges"] == 0 and stats["budget_denied"] == 1
+        assert server.calls == 1
+
+    def test_p95_hedging_needs_samples_first(self):
+        server = FlakyServer()
+        client = ResilientClient(server, retry_policy=self._policy(),
+                                 hedge_after_ms="p95", min_hedge_samples=4)
+        for _ in range(3):
+            client.submit("pkg").result(timeout=1.0)
+        assert client.stats()["hedges"] == 0  # too little signal to hedge
+        assert client._hedge_delay_s() is None
+        client.submit("pkg").result(timeout=1.0)
+        assert client._hedge_delay_s() is not None
+
+    def test_close_cancels_scheduled_retries(self):
+        server = FlakyServer(fail_first=10)
+        client = ResilientClient(
+            server, retry_policy=self._policy(base_backoff_s=5.0,
+                                              max_backoff_s=5.0))
+        client.submit("pkg")
+        time.sleep(0.05)  # the first failure schedules a far-future retry
+        client.close()
+        calls_at_close = server.calls
+        time.sleep(0.05)
+        assert server.calls == calls_at_close == 1
+
+
+class TestClosedLoopClient:
+    def test_think_loop_counts_and_stops(self):
+        stop = threading.Event()
+        def do_request(client):
+            if client.requests >= 5:
+                stop.set()
+            return True
+        client = ClosedLoopClient(do_request, think_time_s=0.001,
+                                  stop_event=stop)
+        client.start()
+        client.join(timeout=5.0)
+        assert not client.is_alive()
+        assert client.requests >= 5
+        assert client.accepted == client.requests
+        assert client.backoffs == 0
+
+    def test_rejections_back_off_exponentially(self):
+        stop = threading.Event()
+        waits = []
+        def do_request(client):
+            waits.append(time.monotonic())
+            if len(waits) >= 3:
+                stop.set()
+            return False
+        client = ClosedLoopClient(do_request, think_time_s=0.0,
+                                  backoff_base_s=0.02, backoff_cap_s=0.1,
+                                  stop_event=stop)
+        client.start()
+        client.join(timeout=5.0)
+        assert client.accepted == 0 and client.backoffs >= 2
+        # second gap (backoff 0.04) must exceed the first (backoff 0.02)
+        gaps = np.diff(waits)
+        assert gaps[1] > gaps[0]
+
+    def test_do_request_exception_is_a_rejection(self):
+        stop = threading.Event()
+        def do_request(client):
+            stop.set()
+            raise RuntimeError("client bug")
+        client = ClosedLoopClient(do_request, think_time_s=0.0,
+                                  backoff_base_s=0.001, stop_event=stop)
+        client.start()
+        client.join(timeout=5.0)
+        assert client.backoffs >= 1
+        assert client.accepted == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="think_time_s"):
+            ClosedLoopClient(lambda c: True, think_time_s=-1.0)
+        with pytest.raises(ValueError, match="backoff_cap_s"):
+            ClosedLoopClient(lambda c: True, backoff_base_s=1.0,
+                             backoff_cap_s=0.5)
+
+
+# --------------------------------------------------------------------------- #
+# deadline helpers
+# --------------------------------------------------------------------------- #
+class TestDeadlineHelpers:
+    def test_absolute_stamp_arithmetic(self):
+        clock = FakeClock(100.0)
+        deadline = deadline_after_ms(250.0, clock=clock)
+        assert deadline == pytest.approx(100.25)
+        assert not deadline_expired(deadline, clock)
+        assert deadline_remaining_s(deadline, clock) == pytest.approx(0.25)
+        clock.advance(0.5)
+        assert deadline_expired(deadline, clock)
+        assert deadline_remaining_s(deadline, clock) == 0.0
+
+    def test_none_means_no_deadline(self):
+        assert not deadline_expired(None)
+        assert deadline_remaining_s(None) == float("inf")
+
+
+# --------------------------------------------------------------------------- #
+# deadline shedding at each pipeline stage (the four edge cases)
+# --------------------------------------------------------------------------- #
+class TestDeadlineShedding:
+    def test_expired_at_submit_is_shed_before_the_queue(self, serve_model,
+                                                        serve_config, package):
+        with CompressionServer(model=serve_model, config=serve_config,
+                               num_workers=1) as server:
+            resolutions = []
+            pending = server.submit(package,
+                                    deadline_s=time.monotonic() - 0.1)
+            pending.add_done_callback(lambda p: resolutions.append(p))
+            with pytest.raises(DeadlineExceededError):
+                pending.result(timeout=1.0)
+            assert server.stats.snapshot()["deadline_shed"] == 1
+        assert len(resolutions) == 1  # rejected exactly once
+
+    def test_expired_while_queued_is_shed_by_the_batcher(self):
+        queue = AdmissionQueue(max_depth=8)
+        shed = []
+        batcher = MicroBatcher(queue, key_fn=lambda r: "k",
+                               on_expired=shed.append)
+        now = time.monotonic()
+        def request(request_id, deadline_s):
+            return ServeRequest(request_id=request_id, package=None,
+                                kind="reconstruct", submitted_at=now,
+                                pending=PendingResult(request_id),
+                                deadline_s=deadline_s)
+        expired_first = request(0, now - 0.1)     # sheds in the first-pop loop
+        live = request(1, now + 60.0)
+        expired_queued = request(2, now - 0.1)    # sheds in take_matching
+        for item in (expired_first, live, expired_queued):
+            queue.put(item)
+        batch = batcher.next_batch(timeout=0.1)
+        assert [r.request_id for r in batch] == [1]
+        assert {r.request_id for r in shed} == {0, 2}
+        assert queue.depth == 0
+
+    def test_expired_mid_batch_is_shed_before_decode(self, serve_model,
+                                                     serve_config, package):
+        with CompressionServer(model=serve_model, config=serve_config,
+                               num_workers=1) as server:
+            worker = ServeWorker(server, index=99)  # never started: driven by hand
+            expired = ServeRequest(request_id=7, package=package,
+                                   kind="reconstruct",
+                                   submitted_at=time.monotonic(),
+                                   pending=PendingResult(7),
+                                   deadline_s=time.monotonic() - 0.1)
+            worker._process_batch([expired])
+            assert worker.batches_processed == 0  # no decode was paid for
+            with pytest.raises(DeadlineExceededError):
+                expired.pending.result(timeout=0)
+            assert server.stats.snapshot()["deadline_shed"] == 1
+
+    def test_expired_on_a_shard_is_shed_before_unpack(self, serve_model,
+                                                      serve_config, package):
+        # freeze the only shard so the request's 100ms budget expires on the
+        # wire; after thaw the shard must shed it pre-unpack and report the
+        # shed through the merged telemetry
+        with ShardedCompressionServer(model=serve_model, config=serve_config,
+                                      num_shards=1, workers_per_shard=1,
+                                      use_shm=False) as server:
+            warm = server.submit(package)
+            warm.result(timeout=60.0)  # shard is up and serving
+            pid = server._shards[0].process.pid
+            os.kill(pid, signal.SIGSTOP)
+            try:
+                pending = server.submit(package,
+                                        deadline_s=deadline_after_ms(100.0))
+                time.sleep(0.3)
+            finally:
+                os.kill(pid, signal.SIGCONT)
+            with pytest.raises(DeadlineExceededError):
+                pending.result(timeout=30.0)
+            assert server.stats.snapshot()["deadline_shed"] >= 1
+
+
+# --------------------------------------------------------------------------- #
+# sharded-server integration: breakers in the router, depth prediction
+# --------------------------------------------------------------------------- #
+class TestShardedResilienceIntegration:
+    def test_snapshot_reports_per_shard_breakers(self, serve_model,
+                                                 serve_config, package):
+        with ShardedCompressionServer(model=serve_model, config=serve_config,
+                                      num_shards=2, workers_per_shard=1,
+                                      use_shm=False) as server:
+            server.submit(package).result(timeout=60.0)
+            breakers = server.stats.snapshot()["circuit_breakers"]
+            assert len(breakers) == 2
+            assert all(b["state"] == "closed" for b in breakers)
+
+            index, depth = server.predicted_shard_depth(package)
+            assert index in (0, 1)
+            assert depth >= 0
+
+            # an open breaker must not make the pool refuse work: traffic
+            # spills to the trusted shard and still completes
+            server._breakers[0].trip()
+            server._breakers[1].trip()  # all-open degrades to breaker-blind
+            assert server.submit(package).result(timeout=60.0) is not None
+
+    def test_breakers_can_be_disabled(self, serve_model, serve_config,
+                                      package):
+        with ShardedCompressionServer(model=serve_model, config=serve_config,
+                                      num_shards=1, workers_per_shard=1,
+                                      use_shm=False,
+                                      circuit_breakers=False) as server:
+            server.submit(package).result(timeout=60.0)
+            assert server.stats.snapshot()["circuit_breakers"] == {
+                "enabled": False}

@@ -2,15 +2,17 @@
 
 from __future__ import annotations
 
+import dataclasses
 import json
 
 import numpy as np
 import pytest
 
 from repro.core import EaszConfig, EaszReconstructor
-from repro.serve import CompressionServer
+from repro.serve import CompressionServer, ShardedCompressionServer
 from repro.serve.scenarios import (
     ChaosSpec,
+    ResilienceSpec,
     ScenarioReport,
     ScenarioSpec,
     TenantSpec,
@@ -196,7 +198,8 @@ class TestScenarioRun:
         assert chaos_report.submitted == sum(t.submitted for t in chaos_report.tenants)
         for tenant in chaos_report.tenants:
             outcomes = (tenant.completed + tenant.infra_failures
-                        + tenant.graceful_rejections + tenant.decoder_crashes)
+                        + tenant.graceful_rejections + tenant.decoder_crashes
+                        + tenant.deadline_shed)
             assert outcomes == tenant.submitted
             assert tenant.offered == (tenant.submitted + tenant.shed
                                       + tenant.admission_rejected)
@@ -218,10 +221,12 @@ class TestScenarioRun:
         assert decoded["futures_lost"] == 0
         assert {t["name"] for t in decoded["tenants"]} == {"premium", "bursty"}
         for key in ("offered", "submitted", "completed", "utilisation",
-                    "saturated", "chaos_events", "watchdog_restarts"):
+                    "saturated", "chaos_events", "watchdog_restarts",
+                    "retries", "hedges", "deadline_shed"):
             assert key in decoded
         for key in ("deadline_ms", "latency_p50_ms", "latency_p99_ms",
-                    "slo_miss_rate", "predicted_wait_ms_mean"):
+                    "slo_miss_rate", "predicted_wait_ms_mean", "retries",
+                    "hedges", "deadline_shed", "budget_denied"):
             assert key in decoded["tenants"][0]
 
     def test_headline_names_scenario_and_verdict(self, chaos_report):
@@ -248,6 +253,130 @@ class TestReportVerdict:
 
 
 # --------------------------------------------------------------------------- #
+# ScenarioSpec JSON round-trip (serve-bench --scenario-file)
+# --------------------------------------------------------------------------- #
+class TestScenarioSpecJson:
+    def test_every_builtin_round_trips(self):
+        for name, scenario in builtin_scenarios().items():
+            assert ScenarioSpec.from_json(scenario.to_json()) == scenario, name
+
+    def test_round_trip_preserves_nested_specs(self, tiny_scenario):
+        back = ScenarioSpec.from_json(tiny_scenario.to_json())
+        assert back == tiny_scenario
+        assert isinstance(back.tenants[0], TenantSpec)
+        assert isinstance(back.chaos, ChaosSpec)
+
+    def test_unknown_field_names_the_culprit(self):
+        with pytest.raises(ValueError, match=r"tenants\[0\].*rate_rpz"):
+            ScenarioSpec.from_dict({
+                "name": "s", "tenants": [{"name": "t", "rate_rpz": 3.0}]})
+        with pytest.raises(ValueError, match=r"resilience.*budget_rato"):
+            ScenarioSpec.from_dict({
+                "name": "s", "tenants": [{"name": "t"}],
+                "resilience": {"budget_rato": 0.1}})
+        with pytest.raises(ValueError, match=r"chaos.*kill_shards_at"):
+            ScenarioSpec.from_dict({
+                "name": "s", "tenants": [{"name": "t"}],
+                "chaos": {"kill_shards_at": [1.0]}})
+
+    def test_invalid_value_keeps_dataclass_message(self):
+        with pytest.raises(ValueError, match="rate_rps"):
+            ScenarioSpec.from_dict({
+                "name": "s", "tenants": [{"name": "t", "rate_rps": 0.0}]})
+
+    def test_malformed_json_is_a_value_error(self):
+        with pytest.raises(ValueError, match="JSON"):
+            ScenarioSpec.from_json("{not json")
+        with pytest.raises(ValueError, match="object"):
+            ScenarioSpec.from_json("[1, 2]")
+
+
+# --------------------------------------------------------------------------- #
+# resilience acceptance: the claims this PR exists to prove
+# --------------------------------------------------------------------------- #
+class TestResilienceAcceptance:
+    def test_kill_shard_with_retries_hides_all_infra_failures(
+            self, scenario_config, scenario_model):
+        """SIGKILL mid-run + RetryPolicy: clients must see zero infra errors."""
+        spec = ScenarioSpec(
+            name="kill-retry", description="",
+            tenants=(
+                TenantSpec(name="open", rate_rps=12.0, deadline_ms=900.0,
+                           on_breach="accept", image_size=32, num_images=2,
+                           seed=5),
+                TenantSpec(name="loop", rate_rps=8.0, deadline_ms=900.0,
+                           on_breach="accept", closed_loop=True, clients=2,
+                           think_time_ms=40.0, image_size=32, num_images=2,
+                           seed=6),
+            ),
+            duration_s=3.5,
+            chaos=ChaosSpec(kill_shard_at_s=(1.2,), seed=9),
+            resilience=ResilienceSpec(max_attempts=4, base_backoff_ms=20.0,
+                                      max_backoff_ms=250.0, budget_ratio=0.5),
+        )
+        workload = build_workload(spec, config=scenario_config,
+                                  model=scenario_model)
+        with ShardedCompressionServer(
+                model=scenario_model, config=scenario_config, num_shards=2,
+                workers_per_shard=1, queue_depth=128,
+                watchdog_interval_s=0.2, watchdog_backoff_s=0.2,
+                watchdog_hang_timeout_s=1.0) as server:
+            report = run_scenario(spec, server, workload=workload,
+                                  warmup=False)
+        assert report.futures_lost == 0
+        assert report.futures_duplicated == 0
+        assert report.watchdog_restarts >= 1  # the kill actually happened
+        for tenant in report.tenants:
+            assert tenant.infra_failures == 0, tenant.name
+            assert tenant.completed > 0, tenant.name
+        assert report.ok()
+
+    def test_retry_budget_caps_the_storm(self, scenario_config,
+                                         scenario_model):
+        """Closed-loop clients vs a 2-deep queue: without the budget retries
+        amplify unboundedly; with it retry traffic is capped at
+        ``ratio * fresh + burst`` and the run stays healthy."""
+        storm = ScenarioSpec(
+            name="storm", description="",
+            tenants=(TenantSpec(name="loop", rate_rps=10.0, deadline_ms=800.0,
+                                on_breach="accept", closed_loop=True,
+                                clients=6, think_time_ms=1.0, image_size=32,
+                                num_images=2, seed=5),),
+            duration_s=2.0,
+            resilience=ResilienceSpec(max_attempts=4, base_backoff_ms=5.0,
+                                      max_backoff_ms=40.0, budget_ratio=None),
+        )
+        workload = build_workload(storm, config=scenario_config,
+                                  model=scenario_model)
+        reports = {}
+        for ratio in (None, 0.1):
+            spec = dataclasses.replace(
+                storm, resilience=dataclasses.replace(storm.resilience,
+                                                      budget_ratio=ratio))
+            with CompressionServer(model=scenario_model,
+                                   config=scenario_config, num_workers=1,
+                                   queue_depth=2) as server:
+                reports[ratio] = run_scenario(spec, server, workload=workload,
+                                              warmup=False)
+        off = reports[None].tenants[0]
+        on = reports[0.1].tenants[0]
+        # the storm is real: uncapped retries far outnumber budgeted ones
+        assert off.retries > 0
+        assert off.budget_denied == 0
+        assert off.retries > 2 * max(on.retries, 1)
+        # the budget bound is the token-bucket identity: withdrawals can
+        # never exceed the initial burst (10) plus ratio * deposits
+        assert on.retries <= 0.1 * on.submitted + 10 + 1
+        assert on.budget_denied > 0
+        # capped retries are a health property, not a failure mode
+        assert reports[0.1].ok() and not reports[0.1].saturated
+        assert reports[None].ok()
+        for report in reports.values():
+            assert report.futures_lost == 0
+            assert report.futures_duplicated == 0
+
+
+# --------------------------------------------------------------------------- #
 # the built-in matrix the nightly chaos CI replays
 # --------------------------------------------------------------------------- #
 class TestBuiltinScenarios:
@@ -271,6 +400,22 @@ class TestBuiltinScenarios:
         tenants = [t for s in builtin_scenarios().values() for t in s.tenants]
         assert {t.arrival for t in tenants} == {"poisson", "diurnal", "bursty"}
         assert {t.on_breach for t in tenants} >= {"degrade", "shed", "accept"}
+
+    def test_matrix_covers_resilience_and_closed_loop(self):
+        scenarios = builtin_scenarios()
+        for name in ("retry-storm", "metastable-recovery", "oversized-response"):
+            assert name in scenarios
+        assert scenarios["retry-storm"].resilience is not None
+        assert scenarios["retry-storm"].resilience.budget_ratio is not None
+        assert any(t.closed_loop for t in scenarios["retry-storm"].tenants)
+        assert scenarios["metastable-recovery"].chaos.kill_shard_at_s
+        assert scenarios["metastable-recovery"].resilience is not None
+        # oversized-response: the slots must be smaller than any possible
+        # response so every reply exercises the queue fallback
+        hints = dict(scenarios["oversized-response"].server_hints)
+        smallest = min(t.image_size for t in
+                       scenarios["oversized-response"].tenants)
+        assert hints["shm_slot_bytes"] < smallest * smallest * 3 * 4
 
     def test_ci_workflow_matrix_matches_builtins(self):
         # chaos.yml hand-lists the matrix; a new scenario must be added there
